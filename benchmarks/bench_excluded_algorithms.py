@@ -1,0 +1,69 @@
+"""§4 — the exclusion assessment: NetAlign's inadequate quality.
+
+The paper ran NetAlign with the same enhancements as everyone else (degree
+prior, fair assignment) and excluded it for inadequate quality.  This
+bench regenerates that comparison: NetAlign vs. the evaluated field on the
+standard low-noise instances.
+"""
+
+from benchmarks.helpers import emit, paper_note, synthetic_model_graph
+from repro.algorithms import get_algorithm
+from repro.algorithms.netalign import NetAlign
+from repro.datasets import load_dataset
+from repro.harness import ResultTable, RunRecord
+from repro.measures import accuracy
+from repro.noise import make_pair
+
+_COMPARED = ("isorank", "nsd", "regal")
+
+
+def _record(label, dataset, level, mapping, pair, sim_time):
+    return RunRecord(
+        algorithm=label, dataset=dataset, noise_type="one-way",
+        noise_level=level, repetition=0, assignment="mwm",
+        measures={"accuracy": accuracy(mapping, pair.ground_truth)},
+        similarity_time=sim_time, assignment_time=0.0,
+    )
+
+
+def _run(profile):
+    graphs = {
+        "arenas": load_dataset("arenas", scale=profile.graph_scale, seed=0),
+        "pl": synthetic_model_graph("pl", profile.synthetic_nodes, seed=0),
+    }
+    table = ResultTable()
+    for dataset, graph in graphs.items():
+        for level in profile.noise_levels:
+            pair = make_pair(graph, "one-way", level, seed=int(level * 997))
+            netalign = NetAlign()
+            result = netalign.align(pair.source, pair.target,
+                                    assignment="mwm", seed=0)
+            table.add(_record("netalign", dataset, level, result.mapping,
+                              pair, result.similarity_time))
+            for name in _COMPARED:
+                res = get_algorithm(name).align(pair.source, pair.target,
+                                                seed=0)
+                table.add(_record(name, dataset, level, res.mapping, pair,
+                                  res.similarity_time))
+    return table
+
+
+def test_excluded_netalign(benchmark, profile, results_dir):
+    table = benchmark.pedantic(_run, args=(profile,), rounds=1, iterations=1)
+    sections = [
+        f"-- accuracy on {dataset} --\n"
+        + table.format_grid("algorithm", "noise_level", "accuracy",
+                            dataset=dataset)
+        for dataset in ("arenas", "pl")
+    ]
+    sections.append(paper_note(
+        "NetAlign was excluded after showing inadequate quality even with "
+        "the IsoRank similarity notion and the common assignment step (§4)."
+    ))
+    emit(results_dir, "excluded_netalign", *sections)
+
+    # NetAlign must trail IsoRank decisively on both graphs.
+    for dataset in ("arenas", "pl"):
+        na = table.mean("accuracy", algorithm="netalign", dataset=dataset)
+        iso = table.mean("accuracy", algorithm="isorank", dataset=dataset)
+        assert na < iso - 0.1, dataset

@@ -1,0 +1,33 @@
+"""Figure 4 — Accuracy, S³ and MNC on Watts–Strogatz graphs, 3 noise types.
+
+Reproduced claims: GWL fails on small-world graphs with near-uniform
+degrees; GRASP outperforms REGAL on small-world models; IsoRank and GRAAL
+remain solid.
+"""
+
+from benchmarks.helpers import (
+    emit,
+    figure_report,
+    paper_note,
+    synthetic_figure_table,
+)
+
+
+def test_fig04_ws(benchmark, profile, results_dir):
+    table = benchmark.pedantic(
+        synthetic_figure_table, args=("ws", profile), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig04_ws",
+         *figure_report(table),
+         paper_note("GWL ~0 on WS; GRASP > REGAL on small-world graphs; "
+                    "IsoRank consistent across models."))
+
+    zero = min(profile.noise_levels)
+    one_way = dict(noise_type="one-way")
+    assert table.mean("accuracy", algorithm="gwl", noise_level=zero,
+                      **one_way) < 0.3
+    grasp = table.mean("accuracy", algorithm="grasp", noise_level=zero, **one_way)
+    regal = table.mean("accuracy", algorithm="regal", noise_level=zero, **one_way)
+    assert grasp > regal - 0.1
+    assert table.mean("accuracy", algorithm="isorank", noise_level=zero,
+                      **one_way) > 0.7

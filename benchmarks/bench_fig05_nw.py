@@ -1,0 +1,29 @@
+"""Figure 5 — Accuracy, S³ and MNC on Newman–Watts graphs, 3 noise types.
+
+Reproduced claims: CONE shows some sensitivity to strongly small-world NW
+graphs (its weakest flat-degree model); GWL fails; GRASP performs well.
+"""
+
+from benchmarks.helpers import (
+    emit,
+    figure_report,
+    paper_note,
+    synthetic_figure_table,
+)
+
+
+def test_fig05_nw(benchmark, profile, results_dir):
+    table = benchmark.pedantic(
+        synthetic_figure_table, args=("nw", profile), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig05_nw",
+         *figure_report(table),
+         paper_note("CONE faces some difficulty with NW; GWL ~0; GRASP "
+                    "strong on small-world models."))
+
+    zero = min(profile.noise_levels)
+    one_way = dict(noise_type="one-way")
+    assert table.mean("accuracy", algorithm="gwl", noise_level=zero,
+                      **one_way) < 0.3
+    assert table.mean("accuracy", algorithm="grasp", noise_level=zero,
+                      **one_way) > 0.7

@@ -1,0 +1,36 @@
+"""Figure 6 — Accuracy, S³ and MNC on powerlaw-cluster graphs, 3 noise types.
+
+Reproduced claims: the PL model is where CONE shows deficiencies relative
+to its flat-degree performance while GWL excels; LREA reaches its best
+noisy-graph quality (~40%) thanks to the skewed degree distribution; GRASP
+benefits from community structure.
+"""
+
+from benchmarks.helpers import (
+    emit,
+    figure_report,
+    paper_note,
+    synthetic_figure_table,
+)
+
+
+def test_fig06_pl(benchmark, profile, results_dir):
+    table = benchmark.pedantic(
+        synthetic_figure_table, args=("pl", profile), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig06_pl",
+         *figure_report(table),
+         paper_note("GWL excels on PL; LREA reaches ~40% (its best under "
+                    "noise); GRASP performs well with community structure."))
+
+    zero = min(profile.noise_levels)
+    low = sorted(profile.noise_levels)[1]
+    one_way = dict(noise_type="one-way")
+    assert table.mean("accuracy", algorithm="gwl", noise_level=zero,
+                      **one_way) > 0.5
+    # LREA does notably better on PL under noise than on ER (cross-figure
+    # claim; here we just require clearly-above-zero).
+    assert table.mean("accuracy", algorithm="lrea", noise_level=low,
+                      **one_way) > 0.15
+    assert table.mean("accuracy", algorithm="grasp", noise_level=zero,
+                      **one_way) > 0.7

@@ -1,0 +1,65 @@
+"""Figure 7 — accuracy on real graphs (Arenas, Facebook, CA-AstroPh),
+noise up to 5%, all three noise types.
+
+Reproduced claims: GWL exceeds the time budget on Facebook/CA-AstroPh
+(missing lines); IsoRank is best on Facebook; multimodal noise hurts CONE
+and IsoRank more than one-way; GRASP falters when removals disconnect
+Arenas/CA-AstroPh but does well on dense Facebook.
+"""
+
+from benchmarks.helpers import (
+    ALL_ALGORITHMS,
+    emit,
+    paper_note,
+    run_matrix,
+)
+from repro.datasets import load_dataset
+from repro.harness import ResultTable
+from repro.noise import make_pair
+
+_DATASETS = ("arenas", "facebook", "ca-astroph")
+
+
+def _run(profile):
+    table = ResultTable()
+    # The paper averages 10 noisy copies; the scaled profiles trade
+    # repetitions for coverage on these larger real stand-ins.
+    reps = max(1, profile.repetitions - 1)
+    for name in _DATASETS:
+        graph = load_dataset(name, scale=profile.graph_scale, seed=0)
+        for noise_type in ("one-way", "multimodal", "two-way"):
+            for level in profile.noise_levels:
+                pairs = [
+                    (make_pair(graph, noise_type, level,
+                               seed=rep * 31 + int(level * 991)), rep)
+                    for rep in range(reps)
+                ]
+                table.extend(run_matrix(pairs, ALL_ALGORITHMS, profile,
+                                        dataset=name,
+                                        measures=("accuracy",)).records)
+    return table
+
+
+def test_fig07_real_low_noise(benchmark, profile, results_dir):
+    table = benchmark.pedantic(_run, args=(profile,), rounds=1, iterations=1)
+
+    sections = [
+        f"-- accuracy on {name}, {noise_type} noise --\n"
+        + table.format_grid("algorithm", "noise_level", "accuracy",
+                            dataset=name, noise_type=noise_type)
+        for name in _DATASETS
+        for noise_type in ("one-way", "multimodal", "two-way")
+    ]
+    sections.append(paper_note(
+        "GWL times out on Facebook/CA-AstroPh; IsoRank best on Facebook; "
+        "CONE near-optimal on Arenas; '--' cells are budget failures."
+    ))
+    emit(results_dir, "fig07_real_low_noise", *sections)
+
+    # The largest graphs exceed GWL's emulated budget, like the paper's 3h.
+    astr = table.filter(dataset="ca-astroph", algorithm="gwl")
+    assert all(r.failed for r in astr.records)
+    # IsoRank stays strong on the Facebook stand-in at low one-way noise.
+    low = sorted(profile.noise_levels)[1]
+    assert table.mean("accuracy", dataset="facebook", algorithm="isorank",
+                      noise_type="one-way", noise_level=low) > 0.5

@@ -1,0 +1,81 @@
+"""Figure 8 — accuracy on network-repository graphs, one-way noise to 25%.
+
+Reproduced claims: CONE is least influenced by noise level; REGAL struggles
+above 5% noise except on the smallest graphs; GRASP fails on datasets that
+are disconnected even before noise (euroroad, hamsterster); IsoRank aligns
+every network but decays with noise; S-GWL stays close to the best with the
+paper's per-density beta (0.025 sparse / 0.1 dense).
+"""
+
+from benchmarks.helpers import budget_failure, eligible, emit, paper_note
+from repro.datasets import dataset_info, load_dataset
+from repro.harness import ResultTable, run_cell
+from repro.noise import make_pair
+
+_DATASETS = ("inf-euroroad", "inf-power", "fb-haverford76", "fb-hamilton46",
+             "fb-bowdoin47", "fb-swarthmore42", "soc-hamsterster",
+             "bio-celegans", "ca-grqc", "ca-netscience")
+_ALGOS = ("cone", "gwl", "regal", "grasp", "isorank", "nsd", "s-gwl",
+          "lrea", "graal")
+
+
+def _sgwl_beta(name: str) -> float:
+    """The paper's manual tuning: beta by dataset density (§6.4.2)."""
+    return 0.1 if dataset_info(name).average_degree > 10 else 0.025
+
+
+def _run(profile):
+    table = ResultTable()
+    reps = max(1, profile.repetitions - 1)  # paper averages 5 here, not 10
+    for name in _DATASETS:
+        graph = load_dataset(name, scale=profile.graph_scale, seed=0)
+        for level in profile.high_noise_levels:
+            pairs = [
+                (make_pair(graph, "one-way", level,
+                           seed=rep * 13 + int(level * 400)), rep)
+                for rep in range(reps)
+            ]
+            for pair, rep in pairs:
+                for algo in _ALGOS:
+                    params = ({"beta": _sgwl_beta(name)} if algo == "s-gwl"
+                              else None)
+                    if not eligible(algo, graph.num_nodes, profile):
+                        table.add(budget_failure(algo, pair, name, rep, "jv"))
+                        continue
+                    table.add(run_cell(algo, pair, name, rep,
+                                       measures=("accuracy",), seed=rep,
+                                       algorithm_params=params))
+    return table
+
+
+def test_fig08_real_high_noise(benchmark, profile, results_dir):
+    table = benchmark.pedantic(_run, args=(profile,), rounds=1, iterations=1)
+
+    sections = [
+        f"-- accuracy on {name} (one-way, to 25%) --\n"
+        + table.format_grid("algorithm", "noise_level", "accuracy",
+                            dataset=name)
+        for name in _DATASETS
+    ]
+    sections.append(paper_note(
+        "CONE least noise-sensitive; REGAL collapses past 5% except on the "
+        "smallest graphs; GRASP fails on euroroad/hamsterster "
+        "(disconnected before noise); IsoRank universal but decaying."
+    ))
+    emit(results_dir, "fig08_real_high_noise", *sections)
+
+    top = max(profile.high_noise_levels)
+    # GRASP on the natively disconnected euroroad collapses as soon as any
+    # noise compounds the degeneracy.  (The paper's zero-noise failure needs
+    # more disconnected fragments than its k=20 eigenvectors, which only
+    # happens at full scale — ~67 components vs. our scaled ~8; see
+    # EXPERIMENTS.md deviations.)
+    noisy = min(l for l in profile.high_noise_levels if l > 0)
+    assert table.mean("accuracy", dataset="inf-euroroad", algorithm="grasp",
+                      noise_level=noisy) < 0.3
+    # CONE degrades more slowly than REGAL on the social graphs.
+    cone_hi = table.mean("accuracy", dataset="fb-haverford76",
+                         algorithm="cone", noise_level=top)
+    regal_hi = table.mean("accuracy", dataset="fb-haverford76",
+                          algorithm="regal", noise_level=top)
+    assert cone_hi >= regal_hi - 0.05

@@ -1,0 +1,54 @@
+"""Figure 11 — similarity-stage runtime vs. node count.
+
+Configuration-model graphs with a normal degree distribution (mean degree
+10), sizes 2^k for the active profile's exponent range (paper: 2^10–2^16).
+Runtime excludes the assignment step, per §6.6; GRAAL is excluded for its
+quintic preprocessing, as in the paper.
+
+Reproduced claims: NSD/LREA/REGAL fastest, IsoRank/GWL slowest; cells
+beyond the emulated budget go missing exactly where the paper's lines stop.
+"""
+
+from benchmarks.helpers import ALL_ALGORITHMS, emit, paper_note, run_matrix
+from repro.graphs.generators import configuration_model_graph, normal_degree_sequence
+from repro.harness import ResultTable
+from repro.noise import make_pair
+
+_ALGOS = tuple(a for a in ALL_ALGORITHMS if a != "graal")
+
+
+def _run(profile):
+    table = ResultTable()
+    for exponent in profile.scalability_exponents:
+        n = 2 ** exponent
+        degrees = normal_degree_sequence(n, 10, seed=exponent)
+        graph = configuration_model_graph(degrees, seed=exponent)
+        pair = make_pair(graph, "one-way", 0.0, seed=exponent)
+        # Tag records with the size through the dataset field.
+        table.extend(run_matrix([(pair, 0)], _ALGOS, profile,
+                                dataset=f"n=2^{exponent:02d}",
+                                measures=("accuracy",)).records)
+    return table
+
+
+def test_fig11_time_vs_nodes(benchmark, profile, results_dir):
+    table = benchmark.pedantic(_run, args=(profile,), rounds=1, iterations=1)
+    emit(results_dir, "fig11_time_vs_nodes",
+         "-- similarity-stage runtime [s] vs graph size --\n"
+         + table.format_grid("algorithm", "dataset", "similarity_time",
+                             fmt="{:.3f}"),
+         paper_note("NSD, LREA, REGAL fastest; IsoRank and GWL slowest; "
+                    "missing cells exceed the emulated budget."))
+
+    small = f"n=2^{min(profile.scalability_exponents):02d}"
+    nsd = table.mean("similarity_time", algorithm="nsd", dataset=small)
+    gwl = table.mean("similarity_time", algorithm="gwl", dataset=small)
+    assert nsd < gwl, "NSD must be faster than GWL at every size"
+
+    # Runtime grows with size for every algorithm that completes everywhere.
+    exps = sorted(profile.scalability_exponents)
+    lo, hi = f"n=2^{exps[0]:02d}", f"n=2^{exps[-1]:02d}"
+    for name in ("nsd", "regal"):
+        t_lo = table.mean("similarity_time", algorithm=name, dataset=lo)
+        t_hi = table.mean("similarity_time", algorithm=name, dataset=hi)
+        assert t_hi > t_lo * 0.8, name

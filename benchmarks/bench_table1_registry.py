@@ -1,0 +1,43 @@
+"""Table 1 — characteristics of the algorithms under evaluation.
+
+Regenerates the paper's Table 1 from the registry metadata each algorithm
+carries: publication year, preprocessing needs, biological origin, the
+assignment method its authors proposed, the measure it optimizes, time
+complexity, and its tuned hyperparameters.
+"""
+
+from benchmarks.helpers import emit
+from repro.algorithms import ALGORITHM_REGISTRY, list_algorithms
+
+_PAPER_ORDER = ["isorank", "graal", "nsd", "lrea", "regal",
+                "gwl", "s-gwl", "cone", "grasp"]
+
+
+def _render_table() -> str:
+    header = (f"{'Algorithm':<10s} {'Year':>4s} {'Prepr.':>6s} {'Bio':>3s} "
+              f"{'Assign':>6s} {'Opt':>4s} {'Time':>15s}  Parameters")
+    lines = [header, "-" * len(header)]
+    for name in _PAPER_ORDER:
+        info = ALGORITHM_REGISTRY[name].info
+        params = ", ".join(f"{k}={v}" for k, v in info.parameters.items())
+        lines.append(
+            f"{info.name:<10s} {info.year:>4d} {info.preprocessing:>6s} "
+            f"{'yes' if info.biological else 'no':>3s} "
+            f"{info.default_assignment.upper():>6s} {info.optimizes:>4s} "
+            f"{info.time_complexity:>15s}  {params}"
+        )
+    return "\n".join(lines)
+
+
+def test_table1_registry(benchmark, results_dir):
+    table = benchmark.pedantic(_render_table, rounds=1, iterations=1)
+    emit(results_dir, "table1_registry", table)
+
+    # The registry must cover exactly the paper's nine algorithms with the
+    # published traits.
+    assert set(list_algorithms()) == set(_PAPER_ORDER)
+    assert ALGORITHM_REGISTRY["isorank"].info.parameters["alpha"] == 0.9
+    assert ALGORITHM_REGISTRY["graal"].info.parameters["alpha"] == 0.8
+    assert ALGORITHM_REGISTRY["cone"].info.optimizes == "mnc"
+    assert ALGORITHM_REGISTRY["lrea"].info.default_assignment == "mwm"
+    assert ALGORITHM_REGISTRY["grasp"].info.default_assignment == "jv"

@@ -1,0 +1,28 @@
+"""Shared pytest-benchmark configuration for the experiment suite.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md's
+experiment index), prints the same series the paper plots, and saves the
+text table under ``benchmarks/results/``.  Benches run once per invocation
+(``pedantic`` mode) — the experiment itself already averages repetitions.
+
+Select the size profile with ``REPRO_PROFILE`` (quick | medium | full).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def profile():
+    from repro.harness import active_profile
+    return active_profile()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Reproducing Table 1's hyperparameters with the grid-search harness.
+
+The paper tunes every algorithm "via grid search on real graphs" before
+the comparison.  This example runs that machinery on two algorithms:
+
+* IsoRank's damping ``alpha`` (paper: 0.9) and its prior (the §6.1 degree
+  prior vs. the literature's binary weights);
+* GRASP's eigenvector count ``k`` (paper: 20).
+
+Run:  python examples/hyperparameter_tuning.py
+"""
+
+from repro.datasets import load_dataset
+from repro.harness import grid_search
+from repro.noise import make_noisy_copies
+
+
+def main() -> None:
+    graph = load_dataset("arenas", scale=0.15, seed=0)
+    print(f"tuning on the Arenas stand-in: {graph.num_nodes} nodes, "
+          f"{graph.num_edges} edges, 2% one-way noise\n")
+    pairs = make_noisy_copies(graph, "one-way", 0.02, copies=3, seed=1)
+
+    isorank = grid_search(
+        "isorank",
+        {"alpha": [0.5, 0.7, 0.9], "prior": ["degree", "uniform"]},
+        pairs,
+    )
+    print(isorank.format_table())
+    print(f"\n-> paper's Table 1 setting: alpha=0.9 with the degree prior; "
+          f"search found {isorank.best_params}\n")
+
+    grasp = grid_search("grasp", {"k": [5, 10, 20, 30]}, pairs)
+    print(grasp.format_table())
+    print(f"\n-> paper's Table 1 setting: k=20; "
+          f"search found k={grasp.best_params['k']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Multiple-network alignment: one population, many observed networks.
+
+The paper points to IsoRankN and GWL as routes from pairwise to *multiple*
+network alignment.  This example uses the library's generic multi-aligner:
+four noisy views of one interaction network (say, the same PPI network
+measured by four labs) are aligned jointly via a star strategy, and the
+result is checked with cycle consistency — do mappings composed around a
+cycle of networks return to where they started?
+
+Run:  python examples/multi_network_alignment.py
+"""
+
+import numpy as np
+
+from repro.algorithms import align_multiple
+from repro.graphs import powerlaw_cluster_graph
+from repro.graphs.operations import permute_graph
+from repro.measures import accuracy
+from repro.noise import make_pair
+
+
+def main() -> None:
+    rng = np.random.default_rng(19)
+    base = powerlaw_cluster_graph(150, 4, 0.4, seed=20)
+
+    # Four labs observe the same network: each misses ~2% of edges and
+    # labels the nodes in its own arbitrary order.
+    views, perms = [], []
+    for lab in range(4):
+        pair = make_pair(base, "one-way", 0.02, seed=100 + lab)
+        views.append(pair.target)
+        perms.append(pair.ground_truth)
+    print(f"4 views of a {base.num_nodes}-node network, ~2% edges missing each")
+
+    joint = align_multiple(views, method="isorank", strategy="star",
+                           reference=0, seed=0)
+
+    # True correspondence view i -> view j goes through the base network.
+    def truth(i, j):
+        return perms[j][np.argsort(perms[i])]
+
+    print("\npairwise re-identification accuracy (via the star reference):")
+    header = "      " + " ".join(f"view{j}" for j in range(4))
+    print(header)
+    for i in range(4):
+        cells = " ".join(
+            f"{accuracy(joint.pairwise(i, j), truth(i, j)):5.1%}"
+            for j in range(4)
+        )
+        print(f"view{i} {cells}")
+
+    print("\ncycle consistency (i -> j -> i returns to start):")
+    for i, j in ((0, 1), (1, 2), (2, 3), (1, 3)):
+        print(f"  view{i} <-> view{j}: {joint.cycle_consistency(i, j):5.1%}")
+
+
+if __name__ == "__main__":
+    main()

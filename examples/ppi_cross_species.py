@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Cross-species protein-interaction alignment (functional orthology).
+
+The paper's biology motivation: align the protein-protein interaction
+(PPI) networks of two related species to find proteins playing *similar
+roles*, with no sequence information — the unrestricted setting.  Here the
+second species' network is the MultiMagna-style variant of the first:
+edges are lost (undetected interactions) and spurious distance-two edges
+appear (false positives), mimicking real inter-species PPI divergence.
+
+Besides accuracy, this example highlights the *edge-based* measures (EC,
+ICS, S³): in functional orthology, conserving interactions matters more
+than hitting the exact node identity.
+
+Run:  python examples/ppi_cross_species.py
+"""
+
+import repro
+from repro.datasets import temporal_pair
+from repro.measures import evaluate_all
+
+
+def main() -> None:
+    # Base yeast-like PPI network and a diverged "second species" variant
+    # retaining 95% of its interactions plus compensating false positives.
+    pair = temporal_pair("multimagna", fraction=0.95, scale=0.5, seed=3)
+    print(f"species A: {pair.source}\nspecies B: {pair.target}\n")
+
+    print(f"{'method':>8s} {'accuracy':>9s} {'EC':>7s} {'ICS':>7s} "
+          f"{'S3':>7s} {'MNC':>7s}")
+    for method in ("isorank", "s-gwl", "graal", "nsd"):
+        result = repro.align(pair.source, pair.target, method=method, seed=0)
+        scores = evaluate_all(pair.source, pair.target, result.mapping,
+                              pair.ground_truth)
+        print(f"{method:>8s} {scores['accuracy']:>9.3f} {scores['ec']:>7.3f} "
+              f"{scores['ics']:>7.3f} {scores['s3']:>7.3f} "
+              f"{scores['mnc']:>7.3f}")
+
+    print(
+        "\nIsoRank was designed for exactly this task; note how the "
+        "edge-conservation scores (EC/S3) can stay useful even where exact "
+        "node accuracy drops - 'similar role' is weaker than 'same node'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: align two noisy copies of a graph and score the result.
+
+This is the five-minute tour of the library:
+
+1. generate a graph (any of the paper's random families),
+2. derive a noisy, permuted copy with known ground truth,
+3. align with one of the nine algorithms under a chosen assignment method,
+4. evaluate with the full measure suite.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+from repro.graphs import powerlaw_cluster_graph
+from repro.measures import evaluate_all
+from repro.noise import make_pair
+
+
+def main() -> None:
+    # 1. A 300-node powerlaw-cluster graph (Holme-Kim model).
+    graph = powerlaw_cluster_graph(300, 4, 0.3, seed=7)
+    print(f"base graph: {graph} (avg degree {graph.average_degree:.1f})")
+
+    # 2. A 3%-noise instance: edges removed from the target, nodes permuted.
+    pair = make_pair(graph, "one-way", 0.03, seed=8)
+    print(f"instance:   {pair.noise_type} noise at {pair.noise_level:.0%}, "
+          f"target has {pair.target.num_edges} edges")
+
+    # 3. Align with three very different algorithms.
+    for method in ("isorank", "cone", "regal"):
+        result = repro.align(pair.source, pair.target, method=method,
+                             assignment="jv", seed=0)
+
+        # 4. Evaluate: accuracy needs the truth; the rest do not.
+        scores = evaluate_all(pair.source, pair.target, result.mapping,
+                              pair.ground_truth)
+        summary = "  ".join(f"{k}={v:.3f}" for k, v in sorted(scores.items()))
+        print(f"{method:>8s}: {summary}  "
+              f"({result.similarity_time:.2f}s + {result.assignment_time:.2f}s)")
+
+
+if __name__ == "__main__":
+    main()

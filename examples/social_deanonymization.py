@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Social-network de-anonymization: re-identify users across two platforms.
+
+The scenario from the paper's introduction: the same user population
+appears in two social networks (think an "anonymized" release of one
+platform and a public crawl of another).  Both graphs are noisy views of
+the same underlying friendship structure; an unrestricted aligner that
+needs *no seed users and no profile attributes* can re-identify a large
+fraction of the nodes from topology alone.
+
+This example builds the two views with *two-way* noise (each platform
+misses some friendships independently), compares several aligners, and
+reports how many "users" each one re-identifies — illustrating why graph
+releases are not anonymous.
+
+Run:  python examples/social_deanonymization.py
+"""
+
+import numpy as np
+
+import repro
+from repro.datasets import load_dataset
+from repro.measures import accuracy
+from repro.noise import make_pair
+
+
+def main() -> None:
+    # The Facebook stand-in (power-law social graph), scaled down.
+    graph = load_dataset("facebook", scale=0.08, seed=1)
+    print(f"'platform' population: {graph.num_nodes} users, "
+          f"{graph.num_edges} friendships\n")
+
+    print(f"{'missing per side':>18s} {'regal':>8s} {'cone':>8s} {'isorank':>8s}")
+    for noise in (0.01, 0.05, 0.10):
+        # Each platform independently misses `noise` of the friendships.
+        pair = make_pair(graph, "two-way", noise, seed=42)
+        row = []
+        for method in ("regal", "cone", "isorank"):
+            result = repro.align(pair.source, pair.target, method=method,
+                                 seed=0)
+            rate = accuracy(result.mapping, pair.ground_truth)
+            row.append(f"{rate:8.1%}")
+        print(f"{noise:>17.0%} " + " ".join(row))
+
+    print(
+        "\nEven with 10% of friendships missing on each side, a large "
+        "share of users is re-identified purely from graph structure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Tracking entities across snapshots of an evolving contact network.
+
+The paper's third application family: the *same* network observed at two
+points in time (road intersections across map versions, contacts in a
+school across weeks).  The noise here is real — contact networks churn in
+a bursty, non-uniform way — which is exactly what the persistence-weighted
+temporal stand-ins reproduce.
+
+This example aligns the final HighSchool-style snapshot against
+progressively older versions and shows the degradation curve per
+algorithm, plus how the choice of assignment method trades accuracy
+against runtime on the hardest version.
+
+Run:  python examples/temporal_network_tracking.py
+"""
+
+import time
+
+import repro
+from repro.assignment import extract_alignment
+from repro.datasets import temporal_pair
+from repro.measures import accuracy
+
+
+def main() -> None:
+    methods = ("gwl", "cone", "grasp", "regal")
+    fractions = (0.99, 0.9, 0.8)
+
+    print("accuracy vs snapshot age (fraction of final edges present)")
+    print(f"{'edges kept':>10s} " + " ".join(f"{m:>8s}" for m in methods))
+    hardest = None
+    for fraction in fractions:
+        pair = temporal_pair("highschool", fraction, scale=1.0, seed=11)
+        hardest = pair
+        row = []
+        for method in methods:
+            result = repro.align(pair.source, pair.target, method=method,
+                                 seed=0)
+            row.append(f"{accuracy(result.mapping, pair.ground_truth):8.1%}")
+        print(f"{fraction:>10.0%} " + " ".join(row))
+
+    # Assignment trade-off on the hardest (oldest) snapshot: reuse one
+    # similarity matrix, extract with each back-end.
+    print("\nassignment trade-off on the oldest snapshot (CONE similarity):")
+    algo = repro.get_algorithm("cone")
+    similarity = algo.similarity(hardest.source, hardest.target, seed=0)
+    for backend in ("nn", "sg", "jv"):
+        start = time.perf_counter()
+        mapping = extract_alignment(similarity, backend)
+        elapsed = time.perf_counter() - start
+        print(f"  {backend:>3s}: accuracy="
+              f"{accuracy(mapping, hardest.ground_truth):6.1%} "
+              f"extraction={elapsed * 1000:7.1f} ms")
+
+    print(
+        "\nJV squeezes out the most accuracy; NN is the cheap approximation "
+        "- the paper's 6.2 finding in miniature."
+    )
+
+
+if __name__ == "__main__":
+    main()

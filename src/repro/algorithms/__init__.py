@@ -1,0 +1,55 @@
+"""The nine unrestricted graph-alignment algorithms of the paper (§3).
+
+Every algorithm implements the :class:`AlignmentAlgorithm` interface:
+``similarity(source, target)`` produces a similarity matrix, and
+``align(source, target)`` runs the full pipeline including the assignment
+step.  :func:`get_algorithm` and :data:`ALGORITHM_REGISTRY` give name-based
+access for the experiment harness.
+"""
+
+from repro.algorithms.base import (
+    ALGORITHM_REGISTRY,
+    AlgorithmInfo,
+    AlignmentAlgorithm,
+    AlignmentResult,
+    get_algorithm,
+    list_algorithms,
+    register_algorithm,
+)
+from repro.algorithms.isorank import IsoRank
+from repro.algorithms.graal import Graal
+from repro.algorithms.nsd import NSD
+from repro.algorithms.lrea import LREA
+from repro.algorithms.regal import Regal
+from repro.algorithms.gwl import GWL
+from repro.algorithms.sgwl import SGWL
+from repro.algorithms.cone import Cone
+from repro.algorithms.grasp import Grasp
+from repro.algorithms.multi import MultiAlignment, align_multiple
+from repro.algorithms.refine import refine_alignment
+from repro.algorithms.eigenalign import EigenAlign
+from repro.algorithms.netalign import NetAlign
+
+__all__ = [
+    "AlignmentAlgorithm",
+    "AlignmentResult",
+    "AlgorithmInfo",
+    "ALGORITHM_REGISTRY",
+    "get_algorithm",
+    "list_algorithms",
+    "register_algorithm",
+    "IsoRank",
+    "Graal",
+    "NSD",
+    "LREA",
+    "Regal",
+    "GWL",
+    "SGWL",
+    "Cone",
+    "Grasp",
+    "MultiAlignment",
+    "align_multiple",
+    "refine_alignment",
+    "EigenAlign",
+    "NetAlign",
+]

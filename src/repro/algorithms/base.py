@@ -1,0 +1,171 @@
+"""Common interface, result type, and registry for alignment algorithms.
+
+The harness treats every algorithm as a two-stage pipeline, mirroring the
+paper's methodology (§6.2): a *similarity stage* (timed, algorithm-specific)
+followed by an *assignment stage* (interchangeable, timed separately so
+runtimes can be reported "excluding the assignment step").
+
+Algorithms whose alignment is integral to the method (GRAAL's
+seed-and-extend) additionally override :meth:`AlignmentAlgorithm.native_mapping`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Type
+
+import numpy as np
+from scipy import sparse
+
+from repro.assignment import extract_alignment
+from repro.exceptions import AlgorithmError
+from repro.graphs.generators import SeedLike, as_rng
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "AlignmentResult",
+    "AlgorithmInfo",
+    "AlignmentAlgorithm",
+    "ALGORITHM_REGISTRY",
+    "register_algorithm",
+    "get_algorithm",
+    "list_algorithms",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Static algorithm traits as collected in the paper's Table 1."""
+
+    name: str
+    year: int
+    preprocessing: str       # "yes" / "no" / "both"
+    biological: bool
+    default_assignment: str  # as proposed by the authors
+    optimizes: str           # measure the method optimizes ("any" / "mnc")
+    time_complexity: str
+    parameters: Dict[str, object]
+
+
+@dataclass
+class AlignmentResult:
+    """Output of a full alignment run.
+
+    Attributes
+    ----------
+    mapping:
+        ``mapping[i]`` = target node for source node ``i`` (-1 unmatched).
+    similarity:
+        The similarity matrix the mapping was extracted from (dense or
+        sparse; ``None`` when the algorithm maps natively).
+    similarity_time:
+        Seconds spent computing the similarity stage (the paper's reported
+        runtime, which excludes assignment).
+    assignment_time:
+        Seconds spent in the assignment stage.
+    algorithm, assignment:
+        Names for provenance.
+    """
+
+    mapping: np.ndarray
+    similarity: Optional[object]
+    similarity_time: float
+    assignment_time: float
+    algorithm: str
+    assignment: str
+
+    @property
+    def total_time(self) -> float:
+        return self.similarity_time + self.assignment_time
+
+
+class AlignmentAlgorithm:
+    """Base class: subclasses implement :meth:`_similarity`.
+
+    Subclasses set ``info`` (an :class:`AlgorithmInfo`) and implement
+    ``_similarity(source, target, rng) -> matrix``.  The base class provides
+    timing, assignment dispatch, and input validation.
+    """
+
+    info: AlgorithmInfo
+
+    def _similarity(self, source: Graph, target: Graph,
+                    rng: np.random.Generator):
+        raise NotImplementedError
+
+    # -- public API ------------------------------------------------------
+
+    def similarity(self, source: Graph, target: Graph, seed: SeedLike = None):
+        """The raw similarity matrix (``n_source`` × ``n_target``)."""
+        self._validate(source, target)
+        return self._similarity(source, target, as_rng(seed))
+
+    def align(
+        self,
+        source: Graph,
+        target: Graph,
+        assignment: Optional[str] = None,
+        seed: SeedLike = None,
+    ) -> AlignmentResult:
+        """Run the full pipeline and return an :class:`AlignmentResult`.
+
+        ``assignment`` defaults to ``"jv"`` — the paper's common back-end —
+        not to the per-algorithm original (pass
+        ``self.info.default_assignment`` to reproduce author behavior).
+        """
+        self._validate(source, target)
+        method = assignment or "jv"
+        rng = as_rng(seed)
+
+        start = time.perf_counter()
+        sim = self._similarity(source, target, rng)
+        sim_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        mapping = extract_alignment(sim, method)
+        assign_time = time.perf_counter() - start
+        return AlignmentResult(
+            mapping=mapping,
+            similarity=sim,
+            similarity_time=sim_time,
+            assignment_time=assign_time,
+            algorithm=self.info.name,
+            assignment=method,
+        )
+
+    # -- helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _validate(source: Graph, target: Graph) -> None:
+        if not isinstance(source, Graph) or not isinstance(target, Graph):
+            raise AlgorithmError("source and target must be Graph instances")
+        if source.num_nodes == 0 or target.num_nodes == 0:
+            raise AlgorithmError("cannot align empty graphs")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+ALGORITHM_REGISTRY: Dict[str, Type[AlignmentAlgorithm]] = {}
+
+
+def register_algorithm(cls: Type[AlignmentAlgorithm]) -> Type[AlignmentAlgorithm]:
+    """Class decorator adding an algorithm to the global registry."""
+    key = cls.info.name.lower()
+    ALGORITHM_REGISTRY[key] = cls
+    return cls
+
+
+def get_algorithm(name: str, **params) -> AlignmentAlgorithm:
+    """Instantiate a registered algorithm by (case-insensitive) name."""
+    key = name.lower()
+    if key not in ALGORITHM_REGISTRY:
+        known = ", ".join(sorted(ALGORITHM_REGISTRY))
+        raise AlgorithmError(f"unknown algorithm {name!r}; known: {known}")
+    return ALGORITHM_REGISTRY[key](**params)
+
+
+def list_algorithms() -> list:
+    """Sorted names of all registered algorithms."""
+    return sorted(ALGORITHM_REGISTRY)

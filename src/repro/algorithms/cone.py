@@ -1,0 +1,172 @@
+"""CONE-Align (Chen et al., CIKM 2020) — embedding-space alignment, §3.7.
+
+CONE embeds each graph *independently* with a proximity-preserving method
+(NetMF) and then aligns the two embedding sub-spaces by alternating two
+convex solves (Eq. 12):
+
+* **Wasserstein** — given the rotation ``Q``, find a soft correspondence
+  ``P`` between the rotated source embeddings and the target embeddings via
+  Sinkhorn;
+* **Procrustes** — given ``P``, find the orthogonal ``Q`` minimizing
+  ``||Y_A Q - P Y_B||``.
+
+Because the two embeddings carry independent basis ambiguities, the
+alternation needs a sensible starting correspondence.  The original
+implementation uses a convex initialization; we provide two:
+
+* ``init="structural"`` (default) — seed the first transport with REGAL's
+  permutation-stable structural features (discounted k-hop degree
+  histograms), then anneal the Sinkhorn regularization from coarse to fine.
+  This reproduces CONE's published profile (near-perfect on most models,
+  weaker on strongly small-world graphs).
+* ``init="frank-wolfe"`` — the convex QAP relaxation over the Birkhoff
+  polytope; kept as an ablation because on homogeneous graphs the relaxed
+  optimum is nearly uniform and carries little signal.
+
+Final alignments are nearest neighbors in the aligned embedding space
+(natively via a k-d tree, like REGAL).  CONE optimizes neighborhood
+consistency, which is why the paper finds it strongest on the MNC measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import AlgorithmInfo, AlignmentAlgorithm, register_algorithm
+from repro.assignment.jv import solve_lap
+from repro.embedding.netmf import netmf_embeddings
+from repro.embedding.xnetmf import structural_features
+from repro.exceptions import AlgorithmError
+from repro.graphs.graph import Graph
+from repro.ot.procrustes import orthogonal_procrustes
+from repro.ot.sinkhorn import sinkhorn
+from repro.util import pairwise_sq_dists
+
+__all__ = ["Cone"]
+
+# Coarse-to-fine Sinkhorn schedule for the Wasserstein/Procrustes loop.
+_EPSILON_SCHEDULE = (
+    0.5, 0.3, 0.2, 0.1, 0.05, 0.05, 0.02, 0.02, 0.01, 0.01,
+    0.005, 0.005, 0.003, 0.003, 0.002, 0.002, 0.001, 0.001, 0.001, 0.001,
+)
+
+
+@register_algorithm
+class Cone(AlignmentAlgorithm):
+    """CONE-Align.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimension (paper Table 1: 512; clipped to ``n - 1``).
+    window, negative:
+        NetMF parameters.
+    iterations:
+        Wasserstein/Procrustes alternations (the paper reports ~50; the
+        annealed schedule converges in ~20).
+    init:
+        ``"structural"`` or ``"frank-wolfe"`` (see module docstring).
+    """
+
+    info = AlgorithmInfo(
+        name="cone",
+        year=2020,
+        preprocessing="no",
+        biological=False,
+        default_assignment="nn",
+        optimizes="mnc",
+        time_complexity="O(n^2)",
+        parameters={"dim": 512},
+    )
+
+    def __init__(self, dim: int = 128, window: int = 10, negative: float = 1.0,
+                 iterations: int = 20, sinkhorn_iter: int = 300,
+                 init: str = "structural", init_iterations: int = 10):
+        if dim < 1:
+            raise AlgorithmError(f"dim must be >= 1, got {dim}")
+        if init not in ("structural", "frank-wolfe"):
+            raise AlgorithmError(
+                f"init must be 'structural' or 'frank-wolfe', got {init!r}"
+            )
+        self.dim = int(dim)
+        self.window = int(window)
+        self.negative = float(negative)
+        self.iterations = int(iterations)
+        self.sinkhorn_iter = int(sinkhorn_iter)
+        self.init = init
+        self.init_iterations = int(init_iterations)
+
+    @staticmethod
+    def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return matrix / norms
+
+    # -- initialization ---------------------------------------------------
+
+    def _structural_init(self, source: Graph, target: Graph) -> np.ndarray:
+        """Initial soft correspondence from structural degree features."""
+        max_deg = max(int(source.degrees.max()), int(target.degrees.max()), 1)
+        width = int(np.floor(np.log2(max_deg))) + 1
+        feats_a = structural_features(source, num_buckets=width)
+        feats_b = structural_features(target, num_buckets=width)
+        cost = pairwise_sq_dists(feats_a, feats_b)
+        peak = cost.max()
+        if peak > 0:
+            cost = cost / peak
+        return sinkhorn(cost, epsilon=0.02, max_iter=self.sinkhorn_iter)
+
+    def _frank_wolfe_init(self, source: Graph, target: Graph) -> np.ndarray:
+        """Convex relaxation ``min_P ||A P - P B||_F^2`` via Frank–Wolfe."""
+        a = source.adjacency(dense=True)
+        b = target.adjacency(dense=True)
+        n_a, n_b = source.num_nodes, target.num_nodes
+        plan = np.full((n_a, n_b), 1.0 / max(n_a, n_b))
+        for it in range(self.init_iterations):
+            grad = 2.0 * (a @ (a @ plan) - 2.0 * a @ plan @ b + (plan @ b) @ b)
+            vertex = np.zeros_like(plan)
+            if n_a <= n_b:
+                cols = solve_lap(grad)
+                vertex[np.arange(n_a), cols] = 1.0
+            else:
+                rows = solve_lap(grad.T)
+                vertex[rows, np.arange(n_b)] = 1.0
+            step = 2.0 / (it + 2.0)
+            plan = (1.0 - step) * plan + step * vertex
+        # Rescale rows to 1/n_a so both init paths feed the Procrustes step
+        # with the same marginal convention.
+        return plan / plan.sum(axis=1, keepdims=True) / n_a
+
+    # -- main pipeline ------------------------------------------------------
+
+    def _similarity(self, source: Graph, target: Graph,
+                    rng: np.random.Generator) -> np.ndarray:
+        dim = min(self.dim, source.num_nodes - 1, target.num_nodes - 1)
+        dim = max(dim, 1)
+        emb_a = self._normalize_rows(
+            netmf_embeddings(source, dim=dim, window=self.window,
+                             negative=self.negative)
+        )
+        emb_b = self._normalize_rows(
+            netmf_embeddings(target, dim=dim, window=self.window,
+                             negative=self.negative)
+        )
+        n_a = source.num_nodes
+
+        if self.init == "structural":
+            plan = self._structural_init(source, target)
+        else:
+            plan = self._frank_wolfe_init(source, target)
+        rotation = orthogonal_procrustes(emb_a, n_a * (plan @ emb_b))
+
+        schedule = _EPSILON_SCHEDULE[: self.iterations]
+        if len(schedule) < self.iterations:
+            schedule = schedule + (_EPSILON_SCHEDULE[-1],) * (
+                self.iterations - len(schedule)
+            )
+        for epsilon in schedule:
+            cost = pairwise_sq_dists(emb_a @ rotation, emb_b)
+            plan = sinkhorn(cost, epsilon=epsilon, max_iter=self.sinkhorn_iter)
+            rotation = orthogonal_procrustes(emb_a, n_a * (plan @ emb_b))
+
+        return np.exp(-pairwise_sq_dists(emb_a @ rotation, emb_b))

@@ -1,0 +1,97 @@
+"""IsoRank (Singh, Xu & Berger 2008) — PageRank-style alignment (paper §3.1).
+
+The pairwise similarity matrix ``R`` satisfies the recursion of Eq. 1,
+
+    R_ij = sum_{u in N(i)} sum_{v in N(j)} R_uv / (deg(u) deg(v)),
+
+which in matrix form is ``R <- M(R) = (A D_A^{-1}) R (B D_B^{-1})^T``.  With
+prior information ``E`` the update is the damped power iteration
+
+    R <- alpha * M(R) + (1 - alpha) * E.
+
+The paper replaces IsoRank's Blast prior with the degree-similarity prior
+of §6.1 (our :func:`repro.util.degree_prior`), which is this module's
+default; a uniform prior reproduces the "binary weights" baseline the paper
+found inferior (exercised by the ablation bench).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.algorithms.base import AlgorithmInfo, AlignmentAlgorithm, register_algorithm
+from repro.exceptions import AlgorithmError
+from repro.graphs.graph import Graph
+from repro.graphs.matrices import column_stochastic
+from repro.util import degree_prior
+
+__all__ = ["IsoRank"]
+
+
+@register_algorithm
+class IsoRank(AlignmentAlgorithm):
+    """IsoRank with a configurable prior.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of topological similarity vs. the prior (paper default 0.9).
+    iterations:
+        Power-iteration budget; the paper caps IsoRank at 100 iterations and
+        uses whatever matrix it has then.
+    tol:
+        Early-exit threshold on the iterate change (L1).
+    prior:
+        ``"degree"`` (paper §6.1, default) or ``"uniform"``.
+    """
+
+    info = AlgorithmInfo(
+        name="isorank",
+        year=2008,
+        preprocessing="yes",
+        biological=True,
+        default_assignment="sg",
+        optimizes="any",
+        time_complexity="O(n^4)",
+        parameters={"alpha": 0.9},
+    )
+
+    def __init__(self, alpha: float = 0.9, iterations: int = 100,
+                 tol: float = 1e-6, prior: str = "degree"):
+        if not 0.0 <= alpha <= 1.0:
+            raise AlgorithmError(f"alpha must be in [0, 1], got {alpha}")
+        if prior not in ("degree", "uniform"):
+            raise AlgorithmError(f"prior must be 'degree' or 'uniform', got {prior!r}")
+        self.alpha = float(alpha)
+        self.iterations = int(iterations)
+        self.tol = float(tol)
+        self.prior = prior
+
+    def _prior_matrix(self, source: Graph, target: Graph) -> np.ndarray:
+        if self.prior == "degree":
+            e = degree_prior(source.degrees, target.degrees)
+        else:
+            e = np.ones((source.num_nodes, target.num_nodes))
+        total = e.sum()
+        if total == 0:
+            raise AlgorithmError("prior matrix sums to zero")
+        return e / total
+
+    def _similarity(self, source: Graph, target: Graph,
+                    rng: np.random.Generator) -> np.ndarray:
+        e = self._prior_matrix(source, target)
+        # M(R) = (A D_A^{-1}) R (B D_B^{-1})^T; column-stochastic operators.
+        op_a = column_stochastic(source)
+        op_b = column_stochastic(target)
+        r = e.copy()
+        for _ in range(self.iterations):
+            updated = self.alpha * (op_a @ r @ op_b.T) + (1.0 - self.alpha) * e
+            total = updated.sum()
+            if total > 0:
+                updated /= total
+            delta = np.abs(updated - r).sum()
+            r = updated
+            if delta < self.tol:
+                break
+        return r

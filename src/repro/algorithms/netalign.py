@@ -1,0 +1,179 @@
+"""NetAlign (Bayati et al. 2013) — the paper's §4 negative result.
+
+The study initially considered NetAlign but excluded it: "we observed
+inadequate quality even after we applied the enhancements granted to the
+rest of algorithms, including the IsoRank similarity notion ... and the JV
+assignment algorithm."  Reproducing that assessment requires the
+algorithm, so here it is — *not* registered among the evaluated nine, but
+available for the exclusion bench.
+
+NetAlign maximizes ``alpha * (matched candidate weight) + beta *
+(overlapped edges)`` over one-to-one matchings restricted to a sparse
+candidate set, via max-sum belief propagation on a factor graph with
+
+* a unary factor ``alpha * w_k`` per candidate pair ``k = (i, j)``,
+* an at-most-one factor per source row and per target column,
+* a pairwise factor rewarding ``beta`` for every *square* — two selected
+  candidates ``(i, j), (u, v)`` with ``(i, u)`` a source edge and
+  ``(j, v)`` a target edge.
+
+Beliefs are damped and finally rounded with the common max-weight-matching
+back-end.  Candidates default to the paper's enhancement: each source
+node's top-``k`` targets under the degree-similarity prior (§6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.algorithms.base import AlgorithmInfo, AlignmentAlgorithm
+from repro.exceptions import AlgorithmError
+from repro.graphs.graph import Graph
+from repro.util import degree_prior
+
+__all__ = ["NetAlign"]
+
+
+class NetAlign(AlignmentAlgorithm):
+    """NetAlign belief propagation (kept out of the benchmark registry).
+
+    Parameters
+    ----------
+    alpha, beta:
+        Weights of matched similarity vs. edge overlap in the objective.
+    candidates_per_node:
+        Size of each source node's candidate set (degree-prior top-k).
+    iterations:
+        Message-passing rounds.
+    damping:
+        Convex damping of message updates (0 = no damping).
+    """
+
+    info = AlgorithmInfo(
+        name="netalign",
+        year=2013,
+        preprocessing="yes",
+        biological=False,
+        default_assignment="mwm",
+        optimizes="any",
+        time_complexity="O(k^2 m)",
+        parameters={"alpha": 1.0, "beta": 2.0},
+    )
+
+    def __init__(self, alpha: float = 1.0, beta: float = 2.0,
+                 candidates_per_node: int = 10, iterations: int = 30,
+                 damping: float = 0.5):
+        if alpha < 0 or beta < 0:
+            raise AlgorithmError("alpha and beta must be non-negative")
+        if not 0.0 <= damping < 1.0:
+            raise AlgorithmError(f"damping must be in [0, 1), got {damping}")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.candidates_per_node = int(candidates_per_node)
+        self.iterations = int(iterations)
+        self.damping = float(damping)
+
+    # ------------------------------------------------------------------
+
+    def _candidates(self, source: Graph, target: Graph):
+        """Top-k degree-prior candidates per source node (paper §4/§6.1)."""
+        prior = degree_prior(source.degrees, target.degrees)
+        k = min(self.candidates_per_node, target.num_nodes)
+        rows, cols, weights = [], [], []
+        for i in range(source.num_nodes):
+            best = np.argpartition(-prior[i], k - 1)[:k]
+            rows.extend([i] * k)
+            cols.extend(int(j) for j in best)
+            weights.extend(float(prior[i, j]) for j in best)
+        return (np.asarray(rows), np.asarray(cols),
+                np.asarray(weights, dtype=np.float64))
+
+    @staticmethod
+    def _squares(source: Graph, target: Graph, rows, cols):
+        """Pairs of candidate indices forming overlap squares."""
+        index: Dict[Tuple[int, int], int] = {
+            (int(i), int(j)): k for k, (i, j) in enumerate(zip(rows, cols))
+        }
+        pairs: List[Tuple[int, int]] = []
+        for k, (i, j) in enumerate(zip(rows, cols)):
+            for u in source.neighbors(int(i)):
+                for v in target.neighbors(int(j)):
+                    other = index.get((int(u), int(v)))
+                    if other is not None and other > k:
+                        pairs.append((k, other))
+        return pairs
+
+    def _similarity(self, source: Graph, target: Graph,
+                    rng: np.random.Generator):
+        rows, cols, weights = self._candidates(source, target)
+        squares = self._squares(source, target, rows, cols)
+        num_candidates = rows.size
+
+        # Belief difference per candidate (log-odds of y_k = 1 vs 0).
+        unary = self.alpha * weights
+        square_msgs = np.zeros((len(squares), 2))  # msg to (k, l) resp.
+        row_ids = rows
+        col_ids = cols
+
+        # Incidence of squares per candidate, for message aggregation.
+        incoming_square = np.zeros(num_candidates)
+        belief = unary.copy()
+
+        for _round in range(self.iterations):
+            # --- square factor messages (pairwise reward beta) ---------
+            incoming_square[:] = 0.0
+            new_msgs = np.empty_like(square_msgs)
+            for s, (k, l) in enumerate(squares):
+                # Cavity beliefs exclude this factor's previous message.
+                cavity_k = belief[k] - square_msgs[s, 1]
+                cavity_l = belief[l] - square_msgs[s, 0]
+                new_msgs[s, 0] = (max(self.beta + cavity_k, 0.0)
+                                  - max(cavity_k, 0.0))  # message to l
+                new_msgs[s, 1] = (max(self.beta + cavity_l, 0.0)
+                                  - max(cavity_l, 0.0))  # message to k
+            square_msgs = (self.damping * square_msgs
+                           + (1.0 - self.damping) * new_msgs)
+            for s, (k, l) in enumerate(squares):
+                incoming_square[l] += square_msgs[s, 0]
+                incoming_square[k] += square_msgs[s, 1]
+
+            # --- at-most-one row/column factors -------------------------
+            pre = unary + incoming_square
+            penalty = np.zeros(num_candidates)
+            for ids in (row_ids, col_ids):
+                order = np.argsort(ids, kind="stable")
+                sorted_ids = ids[order]
+                boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+                groups = np.split(order, boundaries)
+                for group in groups:
+                    if group.size < 2:
+                        continue
+                    vals = pre[group]
+                    top = np.partition(vals, -2)[-2:]
+                    best, second = top[1], top[0]
+                    # Competing with the best other candidate in the group.
+                    others_best = np.where(vals == best, second, best)
+                    penalty[group] += np.maximum(others_best, 0.0)
+            belief = pre - penalty
+
+        mat = sparse.coo_matrix(
+            (belief - belief.min() + 1e-9, (rows, cols)),
+            shape=(source.num_nodes, target.num_nodes),
+        )
+        return mat.tocsr()
+
+    def objective(self, source: Graph, target: Graph,
+                  mapping: np.ndarray) -> float:
+        """NetAlign's objective value of a mapping (weight + overlap)."""
+        prior = degree_prior(source.degrees, target.degrees)
+        matched = np.flatnonzero(mapping >= 0)
+        weight = float(prior[matched, mapping[matched]].sum())
+        overlap = 0
+        for i, u in source.edges():
+            j, v = mapping[i], mapping[u]
+            if j >= 0 and v >= 0 and target.has_edge(int(j), int(v)):
+                overlap += 1
+        return self.alpha * weight + self.beta * overlap

@@ -1,0 +1,92 @@
+"""Alignment refinement — iterative matched-neighborhood improvement.
+
+The paper closes by calling for further work on alignment quality; the
+natural next step the community took (RefiNA, Heimann et al. 2021) is a
+*post-processor*: given any initial alignment, repeatedly re-match nodes
+so that neighbors of matched pairs become matched themselves.
+
+One refinement round scores every candidate pair ``(i, j)`` by its matched
+neighborhood: with the current permutation-like matching ``P``,
+
+    S = A_source @ P @ A_target
+
+counts, for each pair, how many of ``i``'s neighbors are currently mapped
+to neighbors of ``j`` — exactly the numerator of the MNC measure (Eq. 15).
+Re-solving the assignment on ``S`` (plus a small inertia bonus for the
+incumbent match) monotonically sharpens neighborhood consistency and often
+repairs a sizeable fraction of near-miss matches from any base algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.assignment import extract_alignment
+from repro.exceptions import AlgorithmError
+from repro.graphs.graph import Graph
+
+__all__ = ["refine_alignment"]
+
+
+def _mapping_matrix(mapping: np.ndarray, n_cols: int) -> sparse.csr_matrix:
+    matched = np.flatnonzero(mapping >= 0)
+    data = np.ones(matched.size)
+    return sparse.csr_matrix(
+        (data, (matched, mapping[matched])),
+        shape=(mapping.size, n_cols),
+    )
+
+
+def refine_alignment(
+    source: Graph,
+    target: Graph,
+    mapping: np.ndarray,
+    iterations: int = 10,
+    inertia: float = 0.5,
+    assignment: str = "jv",
+    tol_unchanged: int = 0,
+) -> np.ndarray:
+    """Refine an alignment by matched-neighborhood re-matching.
+
+    Parameters
+    ----------
+    mapping:
+        Initial alignment (``-1`` allowed for unmatched sources).
+    iterations:
+        Maximum refinement rounds.
+    inertia:
+        Score bonus added to each node's incumbent match; breaks ties in
+        favor of stability and prevents oscillation.
+    assignment:
+        Back-end used to re-solve each round (the common JV by default).
+    tol_unchanged:
+        Early-exit when a round changes at most this many matches.
+
+    Returns the refined mapping (same shape/convention as the input).
+    """
+    current = np.asarray(mapping, dtype=np.int64).copy()
+    if current.shape != (source.num_nodes,):
+        raise AlgorithmError(
+            f"mapping must have shape ({source.num_nodes},), got {current.shape}"
+        )
+    if current.size and current.max() >= target.num_nodes:
+        raise AlgorithmError("mapping entries exceed target size")
+    if iterations < 0:
+        raise AlgorithmError(f"iterations must be >= 0, got {iterations}")
+
+    adj_a = source.adjacency()
+    adj_b = target.adjacency()
+    for _round in range(iterations):
+        perm = _mapping_matrix(current, target.num_nodes)
+        score = (adj_a @ perm @ adj_b).toarray()
+        matched = np.flatnonzero(current >= 0)
+        score[matched, current[matched]] += inertia
+        refined = extract_alignment(score, assignment)
+        changed = int(np.sum(refined != current))
+        current = refined
+        if changed <= tol_unchanged:
+            break
+    return current

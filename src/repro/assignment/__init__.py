@@ -1,0 +1,36 @@
+"""Assignment back-ends that turn a similarity matrix into an alignment.
+
+The paper compares four assignment strategies (§3, §6.2):
+
+* **NN** — nearest neighbor per source node (many-to-one allowed),
+* **SG** — SortGreedy: greedily match globally-sorted pairs one-to-one,
+* **MWM** — maximum-weight matching on a sparse similarity graph,
+* **JV** — Jonker–Volgenant, an exact solver for the dense LAP.
+
+:func:`extract_alignment` is the uniform entry point used by the harness;
+it accepts a similarity matrix (higher = more similar) and a method name.
+"""
+
+from repro.assignment.base import ASSIGNMENT_METHODS, extract_alignment
+from repro.assignment.greedy import (
+    nearest_neighbor,
+    nearest_neighbor_one_to_one,
+    sort_greedy,
+)
+from repro.assignment.jv import jonker_volgenant, solve_lap
+from repro.assignment.sparse import sparse_max_weight_matching
+from repro.assignment.kdtree import KDTree
+from repro.assignment.auction import auction_assignment
+
+__all__ = [
+    "ASSIGNMENT_METHODS",
+    "extract_alignment",
+    "nearest_neighbor",
+    "nearest_neighbor_one_to_one",
+    "sort_greedy",
+    "jonker_volgenant",
+    "solve_lap",
+    "sparse_max_weight_matching",
+    "KDTree",
+    "auction_assignment",
+]

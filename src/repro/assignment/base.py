@@ -1,0 +1,50 @@
+"""Uniform dispatch over the four assignment methods (paper §6.2).
+
+The harness evaluates every algorithm under every assignment back-end; this
+module provides the single switch point.  Method names follow the paper:
+``"nn"``, ``"sg"``, ``"mwm"``, ``"jv"`` (plus ``"nn-1to1"``, the one-to-one
+restriction the paper applies to NN-based methods for comparability).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as _sparse
+
+from repro.assignment.greedy import (
+    nearest_neighbor,
+    nearest_neighbor_one_to_one,
+    sort_greedy,
+)
+from repro.assignment.jv import jonker_volgenant
+from repro.assignment.sparse import sparse_max_weight_matching
+from repro.exceptions import AssignmentError
+
+__all__ = ["ASSIGNMENT_METHODS", "extract_alignment"]
+
+ASSIGNMENT_METHODS = ("nn", "nn-1to1", "sg", "mwm", "jv")
+
+
+def extract_alignment(similarity, method: str = "jv") -> np.ndarray:
+    """Turn a similarity matrix into a mapping array using ``method``.
+
+    ``similarity`` may be dense or SciPy-sparse; higher values mean more
+    similar.  The result maps each source row to a target column (-1 when
+    unmatched).  ``"mwm"`` honors sparsity (absent entries are ineligible);
+    every other method densifies sparse input.
+    """
+    if method not in ASSIGNMENT_METHODS:
+        raise AssignmentError(
+            f"unknown assignment method {method!r}; choose from {ASSIGNMENT_METHODS}"
+        )
+    if method == "mwm":
+        return sparse_max_weight_matching(similarity)
+    if _sparse.issparse(similarity):
+        similarity = similarity.toarray()
+    if method == "nn":
+        return nearest_neighbor(similarity)
+    if method == "nn-1to1":
+        return nearest_neighbor_one_to_one(similarity)
+    if method == "sg":
+        return sort_greedy(similarity)
+    return jonker_volgenant(similarity)

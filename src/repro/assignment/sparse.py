@@ -1,0 +1,78 @@
+"""Maximum-weight matching on a sparse similarity graph (the paper's MWM).
+
+LREA's "union of matchings" step produces a sparse candidate matrix; the
+MWM back-end solves the assignment restricted to those candidates.
+
+Implementation note: SciPy's dedicated sparse matcher
+(``min_weight_full_bipartite_matching``) was observed to loop indefinitely
+on several well-formed inputs (negative weights, and even feasible
+positive-cost instances), so this module solves the problem with the
+robust dense Hungarian/JV solver on a masked cost matrix — ineligible
+pairs carry a prohibitive cost and are stripped from the result — and
+falls back to a maximal greedy matching for instances too large to
+densify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linear_sum_assignment
+
+from repro.exceptions import AssignmentError
+
+__all__ = ["sparse_max_weight_matching"]
+
+# Above this many rows/columns the masked-dense solve is not worth the
+# memory; the greedy maximal matching takes over.
+_DENSE_LIMIT = 6000
+
+
+def _greedy_sparse(matrix: sparse.csr_matrix) -> np.ndarray:
+    """Maximal greedy matching on a sparse similarity matrix."""
+    coo = matrix.tocoo()
+    order = np.argsort(-coo.data)
+    mapping = np.full(matrix.shape[0], -1, dtype=np.int64)
+    col_taken = np.zeros(matrix.shape[1], dtype=bool)
+    for idx in order:
+        i, j = int(coo.row[idx]), int(coo.col[idx])
+        if mapping[i] == -1 and not col_taken[j]:
+            mapping[i] = j
+            col_taken[j] = True
+    return mapping
+
+
+def sparse_max_weight_matching(similarity) -> np.ndarray:
+    """One-to-one alignment maximizing similarity over a sparse candidate set.
+
+    ``similarity`` is any SciPy sparse matrix (or dense array, which is
+    converted); entries absent from the sparsity pattern are ineligible
+    pairs.  Source rows with no eligible or assignable target map to -1.
+    """
+    mat = sparse.csr_matrix(similarity, dtype=np.float64)
+    if mat.nnz == 0:
+        return np.full(mat.shape[0], -1, dtype=np.int64)
+    if np.any(~np.isfinite(mat.data)):
+        raise AssignmentError("similarity matrix contains non-finite entries")
+    n_rows, n_cols = mat.shape
+    if max(n_rows, n_cols) > _DENSE_LIMIT:
+        return _greedy_sparse(mat)
+
+    # Masked dense solve: eligible entries carry cost -(similarity); the
+    # rest a prohibitive constant chosen so any all-eligible assignment
+    # beats one using a masked cell.
+    spread = float(mat.data.max() - mat.data.min()) + 1.0
+    prohibitive = spread * (min(n_rows, n_cols) + 1)
+    cost = np.full((n_rows, n_cols), prohibitive)
+    coo = mat.tocoo()
+    cost[coo.row, coo.col] = -(coo.data - mat.data.min())
+
+    transpose = n_rows > n_cols
+    rows, cols = linear_sum_assignment(cost.T if transpose else cost)
+    if transpose:
+        rows, cols = cols, rows
+
+    mapping = np.full(n_rows, -1, dtype=np.int64)
+    eligible = cost[rows, cols] < prohibitive
+    mapping[rows[eligible]] = cols[eligible]
+    return mapping

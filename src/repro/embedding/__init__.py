@@ -1,0 +1,13 @@
+"""Node-embedding substrate shared by REGAL and CONE.
+
+* :mod:`repro.embedding.xnetmf` — REGAL's cross-network structural
+  embedding: discounted k-hop degree histograms compared against random
+  landmarks, factorized with the Nyström method.
+* :mod:`repro.embedding.netmf` — NetMF proximity embeddings (truncated
+  random-walk matrix factorization), the per-graph embedding CONE aligns.
+"""
+
+from repro.embedding.xnetmf import structural_features, xnetmf_embeddings
+from repro.embedding.netmf import netmf_embeddings
+
+__all__ = ["structural_features", "xnetmf_embeddings", "netmf_embeddings"]

@@ -1,0 +1,60 @@
+"""NetMF proximity embeddings (Qiu et al., WSDM 2018) — CONE's substrate.
+
+CONE-Align embeds each graph independently with a proximity-preserving
+method and then aligns the embedding spaces.  NetMF factorizes the
+(log-transformed, shifted-PMI) random-walk matrix
+
+    M = (vol(G) / (b * T)) * (sum_{r=1..T} P^r) D^{-1},    P = D^{-1} A,
+
+truncated at window ``T``, via an SVD:  ``Y = U_d sqrt(S_d)``.
+
+This is the exact dense small-window variant, suitable for the benchmark's
+graph sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import AlgorithmError
+from repro.graphs.graph import Graph
+
+__all__ = ["netmf_embeddings"]
+
+
+def netmf_embeddings(
+    graph: Graph,
+    dim: int = 128,
+    window: int = 10,
+    negative: float = 1.0,
+) -> np.ndarray:
+    """NetMF embedding matrix of shape ``(n, d)``.
+
+    ``dim`` is clipped to ``n - 1``; isolated nodes receive zero rows.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        raise AlgorithmError("cannot embed an empty graph")
+    if window < 1:
+        raise AlgorithmError(f"window must be >= 1, got {window}")
+    d = int(min(dim, max(n - 1, 1)))
+
+    adj = graph.adjacency(dense=True)
+    deg = adj.sum(axis=1)
+    vol = deg.sum()
+    if vol == 0:
+        return np.zeros((n, d))
+    inv_deg = np.divide(1.0, deg, out=np.zeros_like(deg), where=deg > 0)
+
+    walk = inv_deg[:, np.newaxis] * adj  # P = D^{-1} A
+    power = np.eye(n)
+    acc = np.zeros_like(adj)
+    for _ in range(window):
+        power = power @ walk
+        acc += power
+
+    m = (vol / (negative * window)) * acc * inv_deg[np.newaxis, :]
+    m = np.log(np.maximum(m, 1.0))  # shifted-PMI with log-clipping at 0
+
+    u, s, _vt = np.linalg.svd(m, full_matrices=False)
+    return u[:, :d] * np.sqrt(s[:d])[np.newaxis, :]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro graph-alignment benchmark library.
+
+Everything raised on purpose by this package derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or an operation on an unsuitable graph."""
+
+
+class NoiseError(ReproError):
+    """A noise model was asked to do something impossible.
+
+    For example removing more edges than the graph has, or preserving
+    connectivity on a graph that is already disconnected.
+    """
+
+
+class AssignmentError(ReproError):
+    """A linear-assignment solver received an infeasible or malformed input."""
+
+
+class AlgorithmError(ReproError):
+    """An alignment algorithm failed or was misconfigured."""
+
+
+class ConvergenceError(AlgorithmError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class DatasetError(ReproError):
+    """A dataset name is unknown or a dataset file is malformed."""
+
+
+class ExperimentError(ReproError):
+    """The experiment harness was given an inconsistent configuration."""

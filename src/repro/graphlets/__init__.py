@@ -1,0 +1,19 @@
+"""Graphlet degree vectors (GDV) and signature similarity for GRAAL.
+
+:func:`orbit_counts` counts, for every node, the 15 automorphism orbits of
+all connected graphlets on up to four nodes; :func:`gdv_similarity` turns
+two signatures into the Milenković–Pržulj similarity GRAAL scores with.
+
+The original GRAAL uses 73 orbits (graphlets up to five nodes) computed by
+a closed-source executable; DESIGN.md documents the ≤4-node substitution.
+"""
+
+from repro.graphlets.orbits import ORBIT_COUNT, orbit_counts
+from repro.graphlets.similarity import gdv_signature_distance, gdv_similarity
+
+__all__ = [
+    "ORBIT_COUNT",
+    "orbit_counts",
+    "gdv_similarity",
+    "gdv_signature_distance",
+]

@@ -1,0 +1,378 @@
+"""Random-graph generators used by the benchmark, implemented from scratch.
+
+The paper evaluates alignment on five random families — Erdős–Rényi (ER),
+Barabási–Albert (BA), Watts–Strogatz (WS), Newman–Watts (NW) and the
+Holme–Kim powerlaw-cluster model (PL) — plus the configuration model for the
+scalability sweeps.  Every generator takes either an integer seed or a
+``numpy.random.Generator`` so experiments are fully reproducible.
+
+All generators return :class:`repro.graphs.Graph` instances; correctness is
+cross-validated against networkx in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "newman_watts_graph",
+    "powerlaw_cluster_graph",
+    "configuration_model_graph",
+    "random_regular_graph",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "as_rng",
+]
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def as_rng(seed: SeedLike) -> np.random.Generator:
+    """Coerce ``seed`` (None, int, or Generator) into a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+# ----------------------------------------------------------------------
+# Classic families
+# ----------------------------------------------------------------------
+
+def erdos_renyi_graph(n: int, p: float, seed: SeedLike = None) -> Graph:
+    """G(n, p): every pair is an edge independently with probability ``p``.
+
+    Uses the geometric skipping method of Batagelj & Brandes so runtime is
+    O(n + m) instead of O(n^2).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"edge probability must be in [0, 1], got {p}")
+    rng = as_rng(seed)
+    if n < 2 or p == 0.0:
+        return Graph(n, ())
+    if p == 1.0:
+        return complete_graph(n)
+
+    edges = []
+    lp = np.log1p(-p)
+    v, w = 1, -1
+    while v < n:
+        lr = np.log1p(-rng.random())
+        w = w + 1 + int(lr / lp)
+        while w >= v and v < n:
+            w, v = w - v, v + 1
+        if v < n:
+            edges.append((w, v))
+    return Graph(n, np.asarray(edges, dtype=np.int64))
+
+
+def barabasi_albert_graph(n: int, m: int, seed: SeedLike = None) -> Graph:
+    """Preferential-attachment scale-free graph (Barabási–Albert).
+
+    Starts from ``m`` isolated nodes; each new node attaches to ``m``
+    distinct existing nodes chosen proportionally to degree (implemented
+    with the repeated-nodes urn trick, as in networkx).
+    """
+    if m < 1 or m >= n:
+        raise GraphError(f"BA model requires 1 <= m < n, got m={m}, n={n}")
+    rng = as_rng(seed)
+    # Urn of node ids, each appearing once per incident edge endpoint.
+    repeated: list = []
+    edges = []
+    targets = list(range(m))
+    for source in range(m, n):
+        chosen = set()
+        # First node attaches to the m seed nodes; afterwards sample the urn.
+        for t in targets:
+            edges.append((source, t))
+            chosen.add(t)
+        repeated.extend(targets)
+        repeated.extend([source] * len(targets))
+        # Sample m distinct targets for the next node from the urn.
+        targets = []
+        seen = set()
+        while len(targets) < m:
+            x = repeated[rng.integers(len(repeated))]
+            if x not in seen:
+                seen.add(x)
+                targets.append(x)
+    return Graph(n, np.asarray(edges, dtype=np.int64))
+
+
+def _ring_lattice_edges(n: int, k: int) -> np.ndarray:
+    """Edges of a ring lattice where each node connects to k nearest neighbors.
+
+    ``k`` is rounded down to an even count of neighbors (k // 2 on each side),
+    matching the Watts–Strogatz convention.
+    """
+    half = k // 2
+    if half < 1:
+        return np.empty((0, 2), dtype=np.int64)
+    src = np.repeat(np.arange(n), half)
+    offsets = np.tile(np.arange(1, half + 1), n)
+    dst = (src + offsets) % n
+    return np.stack([src, dst], axis=1)
+
+
+def watts_strogatz_graph(n: int, k: int, p: float, seed: SeedLike = None) -> Graph:
+    """Small-world graph: ring lattice with ``k`` neighbors, rewired w.p. ``p``.
+
+    Each lattice edge ``(u, u+j)`` is, with probability ``p``, replaced by an
+    edge from ``u`` to a uniform random node (avoiding self-loops and
+    duplicates), exactly as in Watts & Strogatz (1998).
+    """
+    if k >= n:
+        raise GraphError(f"WS model requires k < n, got k={k}, n={n}")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"rewiring probability must be in [0, 1], got {p}")
+    rng = as_rng(seed)
+    adj = {u: set() for u in range(n)}
+    for u, v in _ring_lattice_edges(n, k):
+        adj[int(u)].add(int(v))
+        adj[int(v)].add(int(u))
+    half = k // 2
+    for j in range(1, half + 1):
+        for u in range(n):
+            v = (u + j) % n
+            if rng.random() < p:
+                w = int(rng.integers(n))
+                # Skip when no valid rewiring target exists (near-complete node).
+                tries = 0
+                while (w == u or w in adj[u]) and tries < 4 * n:
+                    w = int(rng.integers(n))
+                    tries += 1
+                if w == u or w in adj[u]:
+                    continue
+                adj[u].discard(v)
+                adj[v].discard(u)
+                adj[u].add(w)
+                adj[w].add(u)
+    edges = [(u, v) for u in range(n) for v in adj[u] if u < v]
+    return Graph(n, np.asarray(edges, dtype=np.int64))
+
+
+def newman_watts_graph(n: int, k: int, p: float, seed: SeedLike = None) -> Graph:
+    """Newman–Watts small-world graph: like WS but shortcuts are *added*.
+
+    The ring lattice is kept intact and, for each lattice edge, a shortcut
+    from its source to a uniform random node is added with probability ``p``.
+    The minimum degree is therefore ``2 * (k // 2)``.
+    """
+    if k >= n:
+        raise GraphError(f"NW model requires k < n, got k={k}, n={n}")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"shortcut probability must be in [0, 1], got {p}")
+    rng = as_rng(seed)
+    lattice = _ring_lattice_edges(n, k)
+    adj = {u: set() for u in range(n)}
+    for u, v in lattice:
+        adj[int(u)].add(int(v))
+        adj[int(v)].add(int(u))
+    for u, _v in lattice:
+        u = int(u)
+        if rng.random() < p:
+            w = int(rng.integers(n))
+            tries = 0
+            while (w == u or w in adj[u]) and tries < 4 * n:
+                w = int(rng.integers(n))
+                tries += 1
+            if w == u or w in adj[u]:
+                continue
+            adj[u].add(w)
+            adj[w].add(u)
+    edges = [(u, v) for u in range(n) for v in adj[u] if u < v]
+    return Graph(n, np.asarray(edges, dtype=np.int64))
+
+
+def powerlaw_cluster_graph(n: int, m: int, p: float, seed: SeedLike = None) -> Graph:
+    """Holme–Kim model: BA growth with probability ``p`` of triangle closure.
+
+    Each new node attaches to ``m`` targets; after a preferential attachment
+    step, with probability ``p`` the next edge instead closes a triangle by
+    linking to a random neighbor of the previously chosen target.
+    """
+    if m < 1 or m >= n:
+        raise GraphError(f"PL model requires 1 <= m < n, got m={m}, n={n}")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"triangle probability must be in [0, 1], got {p}")
+    rng = as_rng(seed)
+    repeated: list = []
+    adj = {u: set() for u in range(n)}
+
+    def connect(source: int, target: int) -> None:
+        adj[source].add(target)
+        adj[target].add(source)
+        repeated.append(source)
+        repeated.append(target)
+
+    # Seed: node m connects to nodes 0..m-1.
+    for t in range(m):
+        connect(m, t)
+    for source in range(m + 1, n):
+        count = 0
+        # Preferential step for the first edge of this node.
+        target = repeated[rng.integers(len(repeated))]
+        while target == source or target in adj[source]:
+            target = repeated[rng.integers(len(repeated))]
+        connect(source, target)
+        count += 1
+        last = target
+        while count < m:
+            if rng.random() < p:
+                # Triangle closure: neighbor of the last attached node.
+                candidates = [w for w in adj[last]
+                              if w != source and w not in adj[source]]
+                if candidates:
+                    tri = candidates[int(rng.integers(len(candidates)))]
+                    connect(source, tri)
+                    count += 1
+                    last = tri
+                    continue
+            target = repeated[rng.integers(len(repeated))]
+            tries = 0
+            while (target == source or target in adj[source]) and tries < 4 * n:
+                target = repeated[rng.integers(len(repeated))]
+                tries += 1
+            if target == source or target in adj[source]:
+                break
+            connect(source, target)
+            count += 1
+            last = target
+    edges = [(u, v) for u in range(n) for v in adj[u] if u < v]
+    return Graph(n, np.asarray(edges, dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# Configuration model (scalability experiments, §6.6)
+# ----------------------------------------------------------------------
+
+def configuration_model_graph(
+    degrees: Sequence[int],
+    seed: SeedLike = None,
+    max_tries: int = 20,
+) -> Graph:
+    """Simple graph drawn from the configuration model on ``degrees``.
+
+    Stubs are paired uniformly at random; self-loops and multi-edges are
+    discarded (the standard "erased" configuration model), so realized
+    degrees can fall slightly below the requested sequence — which is how
+    the paper's scalability graphs with "normal degree distribution" are
+    produced.
+    """
+    deg = np.asarray(degrees, dtype=np.int64)
+    if deg.size and deg.min() < 0:
+        raise GraphError("degrees must be non-negative")
+    if deg.sum() % 2 == 1:
+        deg = deg.copy()
+        deg[int(np.argmax(deg))] += 1  # make the stub count even
+    rng = as_rng(seed)
+    stubs = np.repeat(np.arange(deg.size), deg)
+    best_edges = np.empty((0, 2), dtype=np.int64)
+    for _ in range(max_tries):
+        rng.shuffle(stubs)
+        pairs = stubs.reshape(-1, 2)
+        keep = pairs[:, 0] != pairs[:, 1]
+        pairs = pairs[keep]
+        lo = np.minimum(pairs[:, 0], pairs[:, 1])
+        hi = np.maximum(pairs[:, 0], pairs[:, 1])
+        uniq = np.unique(np.stack([lo, hi], axis=1), axis=0)
+        if uniq.shape[0] > best_edges.shape[0]:
+            best_edges = uniq
+        # Accept once nearly all stubs survived the erasure.
+        if uniq.shape[0] >= 0.99 * (deg.sum() // 2):
+            break
+    return Graph(deg.size, best_edges)
+
+
+def normal_degree_sequence(
+    n: int, mean_degree: float, std_fraction: float = 0.1, seed: SeedLike = None
+) -> np.ndarray:
+    """Near-normal degree sequence with the given mean, clipped to [1, n-1].
+
+    This mirrors the paper's "configuration model graphs with normal degree
+    distribution" used in the scalability study.
+    """
+    rng = as_rng(seed)
+    raw = rng.normal(mean_degree, max(std_fraction * mean_degree, 1.0), size=n)
+    return np.clip(np.rint(raw), 1, n - 1).astype(np.int64)
+
+
+def random_regular_graph(n: int, d: int, seed: SeedLike = None) -> Graph:
+    """Random ``d``-regular simple graph.
+
+    Uses collision-avoiding stub pairing: stubs are matched uniformly, but
+    a pair that would create a self-loop or multi-edge is re-drawn among the
+    remaining stubs; when the pairing wedges itself (no valid pair left),
+    the whole attempt restarts.  This succeeds with high probability per
+    attempt even for moderate ``d`` (naive erase-and-retry needs
+    ``exp((d^2-1)/4)`` attempts).
+    """
+    if (n * d) % 2 == 1:
+        raise GraphError(f"n*d must be even for a d-regular graph (n={n}, d={d})")
+    if d >= n:
+        raise GraphError(f"regular graph requires d < n, got d={d}, n={n}")
+    if d == 0:
+        return Graph(n, ())
+    rng = as_rng(seed)
+    for _attempt in range(200):
+        stubs = list(np.repeat(np.arange(n), d))
+        rng.shuffle(stubs)
+        edges: set = set()
+        wedged = False
+        while stubs:
+            # Pair the last stub with a random other stub; re-draw on clash.
+            u = stubs.pop()
+            candidates = [
+                idx for idx, w in enumerate(stubs)
+                if w != u and (min(u, w), max(u, w)) not in edges
+            ]
+            if not candidates:
+                wedged = True
+                break
+            pick = candidates[int(rng.integers(len(candidates)))]
+            v = stubs.pop(pick)
+            edges.add((min(u, v), max(u, v)))
+        if not wedged:
+            return Graph(n, np.asarray(sorted(edges), dtype=np.int64))
+    raise GraphError(f"failed to sample a simple {d}-regular graph on {n} nodes")
+
+
+# ----------------------------------------------------------------------
+# Deterministic helpers
+# ----------------------------------------------------------------------
+
+def complete_graph(n: int) -> Graph:
+    """Complete graph K_n."""
+    idx = np.triu_indices(n, k=1)
+    return Graph(n, np.stack(idx, axis=1))
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle C_n."""
+    if n < 3:
+        raise GraphError(f"cycle graph requires n >= 3, got {n}")
+    nodes = np.arange(n)
+    return Graph(n, np.stack([nodes, (nodes + 1) % n], axis=1))
+
+
+def path_graph(n: int) -> Graph:
+    """Path P_n."""
+    nodes = np.arange(n - 1)
+    return Graph(n, np.stack([nodes, nodes + 1], axis=1))
+
+
+def star_graph(n: int) -> Graph:
+    """Star with center 0 and ``n - 1`` leaves."""
+    if n < 1:
+        raise GraphError(f"star graph requires n >= 1, got {n}")
+    leaves = np.arange(1, n)
+    return Graph(n, np.stack([np.zeros(n - 1, dtype=np.int64), leaves], axis=1))

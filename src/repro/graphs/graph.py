@@ -1,0 +1,217 @@
+"""The :class:`Graph` type used across the whole benchmark.
+
+A :class:`Graph` is a *simple undirected* graph on nodes ``0..n-1``.  It is
+immutable after construction: all mutating experiment steps (noise,
+permutation, subgraphs) return new instances.  Internally it stores a
+CSR-style structure (``indptr``/``indices``) so neighbor queries, degree
+lookups, and conversion to SciPy sparse matrices are O(1)/O(deg) and
+allocation-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import GraphError
+
+__all__ = ["Graph"]
+
+
+def _canonical_edges(edges: np.ndarray) -> np.ndarray:
+    """Return edges as a sorted, deduplicated ``(m, 2)`` array with u < v."""
+    if edges.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    canon = np.stack([lo, hi], axis=1)
+    canon = np.unique(canon, axis=0)
+    return canon.astype(np.int64, copy=False)
+
+
+class Graph:
+    """A simple undirected graph with contiguous integer node ids.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``n``; node ids are ``0..n-1``.
+    edges:
+        Iterable (or ``(m, 2)`` array) of node pairs.  Self-loops are
+        rejected; duplicate and reversed pairs are merged.
+
+    Examples
+    --------
+    >>> g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    >>> g.num_nodes, g.num_edges
+    (4, 3)
+    >>> list(g.neighbors(1))
+    [0, 2]
+    """
+
+    __slots__ = ("_n", "_edges", "_indptr", "_indices", "_degrees")
+
+    def __init__(self, num_nodes: int, edges: Iterable[Tuple[int, int]] = ()):
+        n = int(num_nodes)
+        if n < 0:
+            raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+        edge_arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges,
+                              dtype=np.int64)
+        if edge_arr.size == 0:
+            edge_arr = np.empty((0, 2), dtype=np.int64)
+        if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
+            raise GraphError(f"edges must be an (m, 2) array, got shape {edge_arr.shape}")
+        if edge_arr.size and (edge_arr.min() < 0 or edge_arr.max() >= n):
+            raise GraphError("edge endpoints must be in [0, num_nodes)")
+        if edge_arr.size and np.any(edge_arr[:, 0] == edge_arr[:, 1]):
+            raise GraphError("self-loops are not allowed in a simple graph")
+
+        self._n = n
+        self._edges = _canonical_edges(edge_arr)
+        self._build_csr()
+
+    def _build_csr(self) -> None:
+        n, e = self._n, self._edges
+        both = np.concatenate([e, e[:, ::-1]], axis=0) if e.size else e
+        if both.size:
+            order = np.lexsort((both[:, 1], both[:, 0]))
+            both = both[order]
+            counts = np.bincount(both[:, 0], minlength=n)
+            self._indices = np.ascontiguousarray(both[:, 1])
+        else:
+            counts = np.zeros(n, dtype=np.int64)
+            self._indices = np.empty(0, dtype=np.int64)
+        self._indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        self._degrees = counts.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Alternate constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_adjacency(cls, matrix) -> "Graph":
+        """Build a graph from a (dense or sparse) symmetric adjacency matrix.
+
+        Nonzero entries are interpreted as edges; the matrix must be square
+        and symmetric in sparsity pattern, with a zero diagonal.
+        """
+        mat = sparse.csr_matrix(matrix)
+        if mat.shape[0] != mat.shape[1]:
+            raise GraphError(f"adjacency matrix must be square, got {mat.shape}")
+        if (abs(mat - mat.T)).nnz != 0:
+            raise GraphError("adjacency matrix must be symmetric")
+        coo = sparse.triu(mat, k=1).tocoo()
+        if mat.diagonal().any():
+            raise GraphError("adjacency matrix must have a zero diagonal")
+        edges = np.stack([coo.row, coo.col], axis=1)
+        return cls(mat.shape[0], edges)
+
+    @classmethod
+    def empty(cls, num_nodes: int) -> "Graph":
+        """An edgeless graph on ``num_nodes`` nodes."""
+        return cls(num_nodes, ())
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._edges.shape[0]
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every node as an ``(n,)`` int array (read-only view)."""
+        view = self._degrees.view()
+        view.setflags(write=False)
+        return view
+
+    def degree(self, node: int) -> int:
+        """Degree of a single node."""
+        return int(self._degrees[node])
+
+    @property
+    def average_degree(self) -> float:
+        """Mean node degree, ``2m / n`` (0.0 for an empty node set)."""
+        if self._n == 0:
+            return 0.0
+        return 2.0 * self.num_edges / self._n
+
+    @property
+    def density(self) -> float:
+        """Edge density ``m / C(n, 2)`` (0.0 when n < 2)."""
+        if self._n < 2:
+            return 0.0
+        return self.num_edges / (self._n * (self._n - 1) / 2.0)
+
+    def edges(self) -> np.ndarray:
+        """All edges as an ``(m, 2)`` array with ``u < v`` (read-only view)."""
+        view = self._edges.view()
+        view.setflags(write=False)
+        return view
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted neighbor ids of ``node`` as a read-only array view."""
+        lo, hi = self._indptr[node], self._indptr[node + 1]
+        view = self._indices[lo:hi]
+        view.setflags(write=False)
+        return view
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        if u == v or not (0 <= u < self._n and 0 <= v < self._n):
+            return False
+        neigh = self._indices[self._indptr[u]:self._indptr[u + 1]]
+        pos = np.searchsorted(neigh, v)
+        return pos < neigh.size and neigh[pos] == v
+
+    def edge_set(self) -> set:
+        """Edges as a Python set of ``(u, v)`` tuples with ``u < v``."""
+        return set(map(tuple, self._edges.tolist()))
+
+    # ------------------------------------------------------------------
+    # Matrix views
+    # ------------------------------------------------------------------
+
+    def adjacency(self, dense: bool = False):
+        """Adjacency matrix as ``scipy.sparse.csr_matrix`` (or dense array).
+
+        The returned matrix is freshly allocated; callers may mutate it.
+        """
+        data = np.ones(self._indices.size, dtype=np.float64)
+        mat = sparse.csr_matrix(
+            (data, self._indices.copy(), self._indptr.copy()), shape=(self._n, self._n)
+        )
+        return mat.toarray() if dense else mat
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __contains__(self, node) -> bool:
+        return isinstance(node, (int, np.integer)) and 0 <= node < self._n
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and np.array_equal(self._edges, other._edges)
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._edges.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self.num_edges})"

@@ -1,0 +1,78 @@
+"""Edge-list I/O in the format used by SNAP / network-repository dumps.
+
+Files are whitespace-separated ``u v`` pairs, one edge per line, with ``#``
+or ``%`` comment lines.  Node ids in files may be arbitrary non-negative
+integers; the loader compacts them to ``0..n-1`` and can return the mapping.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.graphs.graph import Graph
+
+__all__ = ["read_edgelist", "write_edgelist"]
+
+PathLike = Union[str, Path]
+
+
+def read_edgelist(path: PathLike, relabel: bool = True,
+                  return_mapping: bool = False):
+    """Read an undirected graph from an edge-list file.
+
+    Parameters
+    ----------
+    path:
+        File of ``u v`` lines; ``#``/``%`` lines and trailing columns
+        (weights, timestamps) are ignored.
+    relabel:
+        Compact node ids to ``0..n-1`` (sorted by original id).  When False,
+        ids are used verbatim and must already be contiguous.
+    return_mapping:
+        Also return ``{original_id: new_id}`` (only with ``relabel=True``).
+    """
+    raw = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped[0] in "#%":
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise DatasetError(f"{path}:{lineno}: expected 'u v', got {stripped!r}")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise DatasetError(f"{path}:{lineno}: non-integer node id") from exc
+            if u != v:  # silently drop self-loops, as the paper's loaders do
+                raw.append((u, v))
+    if not raw:
+        graph = Graph(0, ())
+        return (graph, {}) if return_mapping else graph
+
+    edges = np.asarray(raw, dtype=np.int64)
+    if relabel:
+        ids = np.unique(edges)
+        remap = {int(old): new for new, old in enumerate(ids)}
+        lookup = np.full(int(ids.max()) + 1, -1, dtype=np.int64)
+        lookup[ids] = np.arange(ids.size)
+        graph = Graph(ids.size, lookup[edges])
+        return (graph, remap) if return_mapping else graph
+
+    n = int(edges.max()) + 1
+    graph = Graph(n, edges)
+    return (graph, {i: i for i in range(n)}) if return_mapping else graph
+
+
+def write_edgelist(graph: Graph, path: PathLike, header: str = "") -> None:
+    """Write a graph as a ``u v`` edge list (one undirected edge per line)."""
+    with open(path, "w") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")

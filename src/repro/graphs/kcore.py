@@ -1,0 +1,104 @@
+"""k-core decomposition and BFS-based path utilities.
+
+Density and degree structure drive alignment performance (the paper's
+closing conclusion), and the k-core number is the standard per-node
+density coordinate.  These utilities support analysis workflows around
+the benchmark — e.g. stratifying accuracy by core number, or restricting
+alignment to the dense core where structural signal concentrates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.operations import induced_subgraph
+
+__all__ = ["core_numbers", "k_core", "all_pairs_hop_distance",
+           "average_shortest_path_length"]
+
+
+def core_numbers(graph: Graph) -> np.ndarray:
+    """Core number per node (Batagelj–Zaveršnik peeling, O(m)).
+
+    The core number of ``v`` is the largest ``k`` such that ``v`` belongs
+    to a subgraph where every node has degree ≥ k.
+    """
+    n = graph.num_nodes
+    degree = graph.degrees.astype(np.int64).copy()
+    core = np.zeros(n, dtype=np.int64)
+    # Bucket queue over degrees.
+    order = np.argsort(degree, kind="stable")
+    position = np.empty(n, dtype=np.int64)
+    position[order] = np.arange(n)
+    max_deg = int(degree.max()) if n else 0
+    counts = np.bincount(degree, minlength=max_deg + 1)
+    # starts[d] = first index in `order` holding a node of current degree d.
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(np.int64) \
+        if n else np.zeros(1, dtype=np.int64)
+    current = degree.copy()
+
+    for idx in range(n):
+        v = int(order[idx])
+        core[v] = current[v]
+        for u in graph.neighbors(v):
+            u = int(u)
+            if current[u] > current[v]:
+                # Move u to the front of its degree bucket, then shrink it.
+                du = int(current[u])
+                first = int(starts[du])
+                w = int(order[first])
+                if u != w:
+                    pu, pw = int(position[u]), first
+                    order[pu], order[pw] = order[pw], order[pu]
+                    position[u], position[w] = pw, pu
+                starts[du] += 1
+                current[u] -= 1
+    return core
+
+
+def k_core(graph: Graph, k: int) -> Tuple[Graph, np.ndarray]:
+    """The maximal subgraph with all degrees ≥ k; ``(subgraph, nodes)``."""
+    if k < 0:
+        raise GraphError(f"k must be non-negative, got {k}")
+    keep = np.flatnonzero(core_numbers(graph) >= k)
+    return induced_subgraph(graph, keep), keep
+
+
+def all_pairs_hop_distance(graph: Graph) -> np.ndarray:
+    """Dense ``(n, n)`` hop-distance matrix (-1 for unreachable pairs).
+
+    One BFS per node; intended for the benchmark's graph sizes.
+    """
+    n = graph.num_nodes
+    dist = np.full((n, n), -1, dtype=np.int64)
+    for source in range(n):
+        row = dist[source]
+        row[source] = 0
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for nb in graph.neighbors(node):
+                if row[nb] == -1:
+                    row[nb] = row[node] + 1
+                    queue.append(int(nb))
+    return dist
+
+
+def average_shortest_path_length(graph: Graph) -> float:
+    """Mean hop distance over reachable (ordered) pairs.
+
+    Raises on graphs with fewer than two nodes; disconnected pairs are
+    excluded from the average.
+    """
+    if graph.num_nodes < 2:
+        raise GraphError("average path length needs at least two nodes")
+    dist = all_pairs_hop_distance(graph)
+    mask = dist > 0
+    if not mask.any():
+        return 0.0
+    return float(dist[mask].mean())

@@ -1,0 +1,98 @@
+"""Linear-algebra views of a graph.
+
+These are the matrix objects the alignment algorithms are written against:
+adjacency, degree, the symmetric-normalized Laplacian
+``L = I - D^{-1/2} A D^{-1/2}`` (paper §2), stochastic normalizations used by
+IsoRank/NSD, and the heat kernel used by GRASP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "adjacency_matrix",
+    "degree_matrix",
+    "normalized_laplacian",
+    "normalized_adjacency",
+    "row_stochastic",
+    "column_stochastic",
+    "heat_kernel",
+]
+
+
+def adjacency_matrix(graph: Graph, dense: bool = False):
+    """Adjacency matrix A (CSR by default)."""
+    return graph.adjacency(dense=dense)
+
+
+def degree_matrix(graph: Graph, dense: bool = False):
+    """Diagonal degree matrix D with D_ii = deg(i)."""
+    diag = sparse.diags(graph.degrees.astype(np.float64))
+    return diag.toarray() if dense else diag.tocsr()
+
+
+def _inv_sqrt_degrees(graph: Graph) -> np.ndarray:
+    deg = graph.degrees.astype(np.float64)
+    with np.errstate(divide="ignore"):
+        inv = 1.0 / np.sqrt(deg)
+    inv[~np.isfinite(inv)] = 0.0
+    return inv
+
+
+def normalized_adjacency(graph: Graph, dense: bool = False):
+    """Symmetric normalization D^{-1/2} A D^{-1/2} (zero rows for isolates)."""
+    inv = _inv_sqrt_degrees(graph)
+    mat = sparse.diags(inv) @ graph.adjacency() @ sparse.diags(inv)
+    return mat.toarray() if dense else mat.tocsr()
+
+
+def normalized_laplacian(graph: Graph, dense: bool = False):
+    """Normalized Laplacian L = I - D^{-1/2} A D^{-1/2} (paper §2).
+
+    Isolated nodes get an all-zero row/column (eigenvalue 0), matching the
+    convention of scipy's ``csgraph.laplacian(normed=True)``.
+    """
+    norm_adj = normalized_adjacency(graph)
+    has_degree = (graph.degrees > 0).astype(np.float64)
+    lap = sparse.diags(has_degree) - norm_adj
+    return lap.toarray() if dense else lap.tocsr()
+
+
+def row_stochastic(graph: Graph, dense: bool = False):
+    """Row-normalized adjacency D^{-1} A (zero rows for isolates)."""
+    deg = graph.degrees.astype(np.float64)
+    with np.errstate(divide="ignore"):
+        inv = 1.0 / deg
+    inv[~np.isfinite(inv)] = 0.0
+    mat = sparse.diags(inv) @ graph.adjacency()
+    return mat.toarray() if dense else mat.tocsr()
+
+
+def column_stochastic(graph: Graph, dense: bool = False):
+    """Column-normalized adjacency A D^{-1} (zero columns for isolates)."""
+    deg = graph.degrees.astype(np.float64)
+    with np.errstate(divide="ignore"):
+        inv = 1.0 / deg
+    inv[~np.isfinite(inv)] = 0.0
+    mat = graph.adjacency() @ sparse.diags(inv)
+    return mat.toarray() if dense else mat.tocsr()
+
+
+def heat_kernel(eigenvalues: np.ndarray, eigenvectors: np.ndarray, t: float) -> np.ndarray:
+    """Heat kernel H_t = Phi exp(-t Lambda) Phi^T from a (partial) eigenbasis.
+
+    ``eigenvectors`` is (n, k) with one eigenvector per column; a truncated
+    basis yields the rank-k approximation of the kernel (paper Eq. 13).
+    """
+    scaled = eigenvectors * np.exp(-t * eigenvalues)[np.newaxis, :]
+    return scaled @ eigenvectors.T
+
+
+def heat_kernel_diagonal(eigenvalues: np.ndarray, eigenvectors: np.ndarray,
+                         t: float) -> np.ndarray:
+    """Diagonal of the heat kernel without forming the full n×n matrix."""
+    return (eigenvectors ** 2) @ np.exp(-t * eigenvalues)

@@ -1,0 +1,42 @@
+"""Experiment harness: the unified benchmark framework of the paper.
+
+This is the study's actual contribution — a common protocol under which all
+nine algorithms are run: same noise generators, same assignment back-end,
+averaged repetitions, runtime measured excluding assignment, and peak
+memory tracked.  (The original uses the Sacred framework; this package is
+a self-contained stand-in.)
+
+* :mod:`repro.harness.config` — experiment configuration and size profiles,
+* :mod:`repro.harness.runner` — executing (algorithm × instance) cells,
+* :mod:`repro.harness.results` — the record table, aggregation, reports.
+"""
+
+from repro.harness.config import (
+    PROFILES,
+    ExperimentConfig,
+    Profile,
+    active_profile,
+)
+from repro.harness.runner import run_cell, run_experiment, run_on_pair
+from repro.harness.results import ResultTable, RunRecord
+from repro.harness.asciiplot import line_plot
+from repro.harness.timeout import run_cell_with_timeout
+from repro.harness.tuning import GridSearchResult, grid_search
+from repro.harness.report import markdown_report
+
+__all__ = [
+    "ExperimentConfig",
+    "Profile",
+    "PROFILES",
+    "active_profile",
+    "run_on_pair",
+    "run_cell",
+    "run_experiment",
+    "RunRecord",
+    "ResultTable",
+    "line_plot",
+    "run_cell_with_timeout",
+    "grid_search",
+    "GridSearchResult",
+    "markdown_report",
+]

@@ -1,0 +1,96 @@
+"""Terminal line plots for the figure benches.
+
+The paper communicates through line charts (accuracy vs. noise level, one
+line per algorithm).  ``line_plot`` renders the same series as a unicode
+text chart so the regenerated figures are eyeballable straight from
+``benchmarks/results/*.txt`` without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["line_plot"]
+
+_MARKERS = "ox+*#@%&$~^"
+
+
+def line_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render named ``(x, y)`` series as a text chart with a legend.
+
+    NaN points are skipped; empty input yields a stub message.  The y-range
+    defaults to the data range padded to at least [0, 1] when the data fits
+    the unit interval (the common case for the paper's measures).
+    """
+    points = {
+        name: [(float(x), float(y)) for x, y in pts if np.isfinite(y)]
+        for name, pts in series.items()
+    }
+    points = {name: pts for name, pts in points.items() if pts}
+    if not points:
+        return f"{title}\n(no data)"
+
+    xs = [x for pts in points.values() for x, _y in pts]
+    ys = [y for pts in points.values() for _x, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if 0.0 <= y_lo and y_hi <= 1.0:
+        y_lo, y_hi = 0.0, 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> Tuple[int, int]:
+        col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+        row = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+        return height - 1 - row, col
+
+    legend: List[str] = []
+    for index, (name, pts) in enumerate(sorted(points.items())):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker}={name}")
+        ordered = sorted(pts)
+        # Linear interpolation between consecutive points for line feel.
+        for (x0, y0), (x1, y1) in zip(ordered[:-1], ordered[1:]):
+            steps = max(abs(to_cell(x1, y1)[1] - to_cell(x0, y0)[1]), 1)
+            for step in range(steps + 1):
+                t = step / steps
+                row, col = to_cell(x0 + t * (x1 - x0), y0 + t * (y1 - y0))
+                if grid[row][col] == " ":
+                    grid[row][col] = "."
+        for x, y in ordered:
+            row, col = to_cell(x, y)
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.2f}"
+    bottom_label = f"{y_lo:.2f}"
+    pad = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(pad)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = f"{' ' * pad} +{'-' * width}"
+    lines.append(axis)
+    x_axis = f"{' ' * pad}  {x_lo:<10.3g}{x_label:^{max(width - 20, 0)}}{x_hi:>8.3g}"
+    lines.append(x_axis)
+    lines.append(f"{' ' * pad}  legend: " + "  ".join(legend))
+    return "\n".join(lines)

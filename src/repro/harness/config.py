@@ -1,0 +1,113 @@
+"""Experiment configuration and size profiles.
+
+The paper runs on a 28-core / 256 GB machine with a 3-hour-per-run budget.
+The ``quick`` profile (default) scales every experiment down so the whole
+bench suite completes on a laptop; ``full`` restores sizes close to the
+published ones.  Select with the ``REPRO_PROFILE`` environment variable or
+by passing a profile explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["Profile", "PROFILES", "active_profile", "ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Size knobs for one benchmarking regime."""
+
+    name: str
+    graph_scale: float        # multiplier on dataset / model sizes
+    synthetic_nodes: int      # n for the random-model experiments (paper: 1133)
+    repetitions: int          # noisy copies averaged (paper: 10)
+    noise_levels: Tuple[float, ...]            # low-noise grid (paper: 0..0.05)
+    high_noise_levels: Tuple[float, ...]       # high-noise grid (paper: 0..0.25)
+    scalability_exponents: Tuple[int, ...]     # log2 node counts (paper: 10..16)
+    scalability_degrees: Tuple[int, ...]       # avg degrees (paper: 10..10^4)
+    time_budget_seconds: float                 # per-cell allowance (paper: 3 h)
+
+
+PROFILES: Dict[str, Profile] = {
+    "quick": Profile(
+        name="quick",
+        graph_scale=0.10,
+        synthetic_nodes=160,
+        repetitions=2,
+        noise_levels=(0.0, 0.01, 0.03, 0.05),
+        high_noise_levels=(0.0, 0.05, 0.15, 0.25),
+        scalability_exponents=(7, 8, 9, 10),
+        scalability_degrees=(10, 32, 100),
+        time_budget_seconds=120.0,
+    ),
+    "medium": Profile(
+        name="medium",
+        graph_scale=0.4,
+        synthetic_nodes=500,
+        repetitions=3,
+        noise_levels=(0.0, 0.01, 0.02, 0.03, 0.04, 0.05),
+        high_noise_levels=(0.0, 0.05, 0.1, 0.15, 0.2, 0.25),
+        scalability_exponents=(8, 9, 10, 11),
+        scalability_degrees=(10, 100, 320),
+        time_budget_seconds=600.0,
+    ),
+    "full": Profile(
+        name="full",
+        graph_scale=1.0,
+        synthetic_nodes=1133,
+        repetitions=10,
+        noise_levels=(0.0, 0.01, 0.02, 0.03, 0.04, 0.05),
+        high_noise_levels=(0.0, 0.05, 0.1, 0.15, 0.2, 0.25),
+        scalability_exponents=(10, 11, 12, 13, 14),
+        scalability_degrees=(10, 100, 1000),
+        time_budget_seconds=10800.0,
+    ),
+}
+
+
+def active_profile(name: Optional[str] = None) -> Profile:
+    """Resolve the profile: explicit name > ``REPRO_PROFILE`` > ``quick``."""
+    key = name or os.environ.get("REPRO_PROFILE", "quick")
+    key = key.lower()
+    if key not in PROFILES:
+        raise ExperimentError(
+            f"unknown profile {key!r}; choose from {sorted(PROFILES)}"
+        )
+    return PROFILES[key]
+
+
+@dataclass
+class ExperimentConfig:
+    """A fully specified experiment: what to run on what.
+
+    Attributes map one-to-one onto the paper's experimental axes: the
+    algorithms compared, the common assignment method, the noise grid, the
+    repetition count, and the random seed everything derives from.
+    """
+
+    name: str
+    algorithms: Sequence[str]
+    assignment: str = "jv"
+    noise_types: Sequence[str] = ("one-way",)
+    noise_levels: Sequence[float] = (0.0, 0.01, 0.02, 0.03, 0.04, 0.05)
+    repetitions: int = 2
+    measures: Sequence[str] = ("accuracy", "s3", "mnc")
+    seed: int = 0
+    track_memory: bool = False
+    algorithm_params: Dict[str, dict] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.algorithms:
+            raise ExperimentError("an experiment needs at least one algorithm")
+        if self.repetitions < 1:
+            raise ExperimentError(
+                f"repetitions must be >= 1, got {self.repetitions}"
+            )
+        for level in self.noise_levels:
+            if not 0.0 <= level < 1.0:
+                raise ExperimentError(f"noise level {level} outside [0, 1)")

@@ -1,0 +1,96 @@
+"""Markdown experiment reports from result tables.
+
+Turns a :class:`~repro.harness.results.ResultTable` into a self-contained
+markdown document: metadata, one measure grid per noise type, a terminal
+line chart for the headline measure, and a failure inventory.  This is
+what a user shares from a custom experiment; the bench suite's text
+reports are its sibling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.harness.asciiplot import line_plot
+from repro.harness.results import ResultTable
+
+__all__ = ["markdown_report"]
+
+
+def _markdown_grid(table: ResultTable, measure: str, **conditions) -> str:
+    """An algorithm x noise-level pipe table of a measure's means."""
+    subset = table.filter(**conditions)
+    algorithms = sorted({r.algorithm for r in subset.records})
+    levels = sorted({r.noise_level for r in subset.records})
+    header = "| algorithm | " + " | ".join(f"{l:g}" for l in levels) + " |"
+    divider = "|" + "---|" * (len(levels) + 1)
+    rows = []
+    for name in algorithms:
+        cells = []
+        for level in levels:
+            value = subset.mean(measure, algorithm=name, noise_level=level)
+            cells.append("--" if np.isnan(value) else f"{value:.3f}")
+        rows.append(f"| {name} | " + " | ".join(cells) + " |")
+    return "\n".join([header, divider] + rows)
+
+
+def markdown_report(
+    table: ResultTable,
+    title: str = "Alignment experiment",
+    measures: Sequence[str] = ("accuracy", "s3", "mnc"),
+    chart_measure: Optional[str] = "accuracy",
+) -> str:
+    """Render a full markdown report for a result table."""
+    records = table.records
+    lines = [f"# {title}", ""]
+    datasets = sorted({r.dataset for r in records})
+    noise_types = sorted({r.noise_type for r in records})
+    lines.append(
+        f"- records: {len(records)} "
+        f"({sum(1 for r in records if r.failed)} failed)"
+    )
+    lines.append(f"- datasets: {', '.join(datasets) or '(none)'}")
+    lines.append(f"- noise types: {', '.join(noise_types) or '(none)'}")
+    lines.append("")
+
+    present_measures = {
+        key for r in records for key in r.measures
+    }
+    for noise_type in noise_types:
+        for measure in measures:
+            if measure not in present_measures:
+                continue
+            lines.append(f"## {measure} — {noise_type} noise")
+            lines.append("")
+            lines.append(_markdown_grid(table, measure,
+                                        noise_type=noise_type))
+            lines.append("")
+
+    if chart_measure and chart_measure in present_measures and noise_types:
+        headline = noise_types[0]
+        series = {
+            name: table.series(name, "noise_level", chart_measure,
+                               noise_type=headline)
+            for name in sorted({r.algorithm for r in records})
+        }
+        lines.append(f"## chart — {chart_measure} vs noise ({headline})")
+        lines.append("")
+        lines.append("```")
+        lines.append(line_plot(series, x_label="noise"))
+        lines.append("```")
+        lines.append("")
+
+    failures = [r for r in records if r.failed]
+    if failures:
+        lines.append("## failures")
+        lines.append("")
+        for r in failures:
+            lines.append(
+                f"- {r.algorithm} on {r.dataset} "
+                f"({r.noise_type} {r.noise_level:g}, rep {r.repetition}): "
+                f"{r.error}"
+            )
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Result records, aggregation, and report formatting.
+
+A :class:`RunRecord` captures one (algorithm × instance × repetition) cell;
+a :class:`ResultTable` is an append-only collection with the aggregation
+and pretty-printing the benches need to regenerate the paper's tables and
+figure series.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field, asdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["RunRecord", "ResultTable"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One measured run of one algorithm on one alignment instance."""
+
+    algorithm: str
+    dataset: str
+    noise_type: str
+    noise_level: float
+    repetition: int
+    assignment: str
+    measures: Dict[str, float]
+    similarity_time: float
+    assignment_time: float
+    peak_memory_bytes: int = 0
+    failed: bool = False
+    error: str = ""
+
+    def value(self, key: str) -> float:
+        """A measure by name, or one of the timing/memory pseudo-measures."""
+        if key in self.measures:
+            return self.measures[key]
+        if key == "similarity_time":
+            return self.similarity_time
+        if key == "assignment_time":
+            return self.assignment_time
+        if key == "total_time":
+            return self.similarity_time + self.assignment_time
+        if key == "peak_memory_bytes":
+            return float(self.peak_memory_bytes)
+        raise ExperimentError(f"record has no measure {key!r}")
+
+
+class ResultTable:
+    """Append-only table of :class:`RunRecord` with grouping helpers."""
+
+    def __init__(self, records: Optional[Iterable[RunRecord]] = None):
+        self._records: List[RunRecord] = list(records or [])
+
+    def add(self, record: RunRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Iterable[RunRecord]) -> None:
+        self._records.extend(records)
+
+    @property
+    def records(self) -> List[RunRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    # ------------------------------------------------------------------
+
+    def filter(self, **conditions) -> "ResultTable":
+        """Records whose attributes equal all given conditions."""
+        kept = [
+            r for r in self._records
+            if all(getattr(r, key) == value for key, value in conditions.items())
+        ]
+        return ResultTable(kept)
+
+    def successful(self) -> "ResultTable":
+        return ResultTable(r for r in self._records if not r.failed)
+
+    def mean(self, measure: str, **conditions) -> float:
+        """Mean of a measure over matching successful records (NaN if none)."""
+        values = [
+            r.value(measure)
+            for r in self.filter(**conditions).successful()
+        ]
+        return float(np.mean(values)) if values else float("nan")
+
+    def series(
+        self,
+        algorithm: str,
+        x_attr: str,
+        measure: str,
+        **conditions,
+    ) -> List[Tuple[float, float]]:
+        """``(x, mean measure)`` points for one algorithm, sorted by x.
+
+        This is the shape of every line in the paper's figures.
+        """
+        subset = self.filter(algorithm=algorithm, **conditions).successful()
+        xs = sorted({getattr(r, x_attr) for r in subset})
+        return [
+            (x, subset.mean(measure, **{x_attr: x}))
+            for x in xs
+        ]
+
+    # ------------------------------------------------------------------
+
+    def to_csv(self, path) -> None:
+        """Dump all records (one measure column per distinct measure name)."""
+        measure_keys = sorted({k for r in self._records for k in r.measures})
+        fixed = ["algorithm", "dataset", "noise_type", "noise_level",
+                 "repetition", "assignment", "similarity_time",
+                 "assignment_time", "peak_memory_bytes", "failed", "error"]
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(fixed + measure_keys)
+            for r in self._records:
+                row = [getattr(r, name) for name in fixed]
+                row += [r.measures.get(k, "") for k in measure_keys]
+                writer.writerow(row)
+
+    def format_grid(
+        self,
+        row_attr: str,
+        col_attr: str,
+        measure: str,
+        fmt: str = "{:.3f}",
+        **conditions,
+    ) -> str:
+        """A text table with ``row_attr`` rows and ``col_attr`` columns.
+
+        Cells are means of ``measure``; failed cells print ``--``.  This is
+        the format every bench prints so the output can be eyeballed against
+        the paper's figures.
+        """
+        subset = self.filter(**conditions)
+        rows = sorted({getattr(r, row_attr) for r in subset}, key=str)
+        cols = sorted({getattr(r, col_attr) for r in subset}, key=str)
+        width = max([len(str(c)) for c in cols] + [8])
+        header = f"{row_attr:>14s} | " + " ".join(f"{str(c):>{width}s}" for c in cols)
+        lines = [header, "-" * len(header)]
+        for row in rows:
+            cells = []
+            for col in cols:
+                value = subset.mean(
+                    measure, **{row_attr: row, col_attr: col}
+                )
+                cells.append(
+                    f"{'--':>{width}s}" if np.isnan(value)
+                    else f"{fmt.format(value):>{width}s}"
+                )
+            lines.append(f"{str(row):>14s} | " + " ".join(cells))
+        return "\n".join(lines)

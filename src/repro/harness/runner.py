@@ -1,0 +1,154 @@
+"""Executing experiment cells: one algorithm on one alignment instance.
+
+The runner enforces the paper's protocol:
+
+* every algorithm is extracted with the *same* assignment back-end,
+* runtimes are recorded split into similarity vs. assignment stages,
+* peak memory is sampled with :mod:`tracemalloc` when requested,
+* failures (time budget, memory, numerical breakdown) are captured as
+  failed records instead of aborting the sweep — mirroring the paper's
+  "does it finish within 3 hours / 256 GB" bookkeeping in Table 3.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.base import AlignmentAlgorithm
+from repro.exceptions import ReproError
+from repro.harness.config import ExperimentConfig
+from repro.harness.results import ResultTable, RunRecord
+from repro.measures import evaluate_all
+from repro.noise import GraphPair, make_pair
+
+__all__ = ["run_on_pair", "run_cell", "run_experiment"]
+
+
+def run_on_pair(
+    algorithm: AlignmentAlgorithm,
+    pair: GraphPair,
+    assignment: str = "jv",
+    measures: Sequence[str] = ("accuracy", "s3", "mnc"),
+    seed: int = 0,
+    track_memory: bool = False,
+) -> Dict[str, object]:
+    """Align one pair and evaluate; returns measure values plus timings."""
+    peak = 0
+    if track_memory:
+        tracemalloc.start()
+    try:
+        result = algorithm.align(pair.source, pair.target,
+                                 assignment=assignment, seed=seed)
+    finally:
+        if track_memory:
+            _current, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+    values = evaluate_all(pair.source, pair.target, result.mapping,
+                          pair.ground_truth)
+    return {
+        "measures": {key: values[key] for key in measures if key in values},
+        "similarity_time": result.similarity_time,
+        "assignment_time": result.assignment_time,
+        "peak_memory_bytes": int(peak),
+        "mapping": result.mapping,
+    }
+
+
+def run_cell(
+    algorithm_name: str,
+    pair: GraphPair,
+    dataset: str,
+    repetition: int,
+    assignment: str = "jv",
+    measures: Sequence[str] = ("accuracy", "s3", "mnc"),
+    seed: int = 0,
+    track_memory: bool = False,
+    algorithm_params: Optional[dict] = None,
+) -> RunRecord:
+    """One (algorithm × instance × repetition) cell as a :class:`RunRecord`.
+
+    Exceptions from the algorithm are converted into failed records so a
+    sweep continues past individual breakdowns.
+    """
+    try:
+        algorithm = get_algorithm(algorithm_name, **(algorithm_params or {}))
+        outcome = run_on_pair(algorithm, pair, assignment=assignment,
+                              measures=measures, seed=seed,
+                              track_memory=track_memory)
+        return RunRecord(
+            algorithm=algorithm_name,
+            dataset=dataset,
+            noise_type=pair.noise_type,
+            noise_level=pair.noise_level,
+            repetition=repetition,
+            assignment=assignment,
+            measures=outcome["measures"],
+            similarity_time=outcome["similarity_time"],
+            assignment_time=outcome["assignment_time"],
+            peak_memory_bytes=outcome["peak_memory_bytes"],
+        )
+    except (ReproError, np.linalg.LinAlgError, MemoryError) as exc:
+        return RunRecord(
+            algorithm=algorithm_name,
+            dataset=dataset,
+            noise_type=pair.noise_type,
+            noise_level=pair.noise_level,
+            repetition=repetition,
+            assignment=assignment,
+            measures={},
+            similarity_time=0.0,
+            assignment_time=0.0,
+            failed=True,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    graphs: Dict[str, object],
+    pair_factory: Optional[Callable] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ResultTable:
+    """Run the full (graph × noise type × level × rep × algorithm) sweep.
+
+    ``graphs`` maps dataset names to base :class:`~repro.graphs.Graph`
+    values.  ``pair_factory(graph, noise_type, level, seed)`` can override
+    how instances are materialized (defaults to
+    :func:`repro.noise.make_pair`); temporal experiments pass pre-built
+    pairs through a factory ignoring the graph argument.
+    """
+    factory = pair_factory or (
+        lambda graph, noise_type, level, seed: make_pair(
+            graph, noise_type, level, seed=seed
+        )
+    )
+    table = ResultTable()
+    base_seed = int(config.seed)
+    for dataset, graph in graphs.items():
+        for noise_type in config.noise_types:
+            for level in config.noise_levels:
+                for rep in range(config.repetitions):
+                    seed = hash((base_seed, dataset, noise_type,
+                                 round(level * 1000), rep)) % (2 ** 32)
+                    pair = factory(graph, noise_type, level, seed)
+                    for name in config.algorithms:
+                        if progress is not None:
+                            progress(
+                                f"{dataset} {noise_type} {level:.2f} "
+                                f"rep{rep} {name}"
+                            )
+                        record = run_cell(
+                            name, pair, dataset, rep,
+                            assignment=config.assignment,
+                            measures=config.measures,
+                            seed=seed,
+                            track_memory=config.track_memory,
+                            algorithm_params=config.algorithm_params.get(name),
+                        )
+                        table.add(record)
+    return table

@@ -1,0 +1,124 @@
+"""Hard wall-clock budgets for experiment cells.
+
+The paper enforces a 3-hour allowance per run and reports nothing for
+cells that exceed it.  The node caps in ``benchmarks.helpers`` emulate that
+cheaply; this module provides the real thing — running an alignment in a
+child process and killing it at the deadline — for the ``full`` profile and
+for user experiments where a misbehaving algorithm must not wedge a sweep.
+
+The child communicates through a ``multiprocessing`` pipe, so algorithm
+parameters and the graph pair must be picklable (everything in this
+package is).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Dict, Optional, Sequence
+
+from repro.exceptions import ExperimentError
+from repro.harness.results import RunRecord
+from repro.noise import GraphPair
+
+__all__ = ["run_cell_with_timeout"]
+
+
+def _child(connection, algorithm_name, pair, assignment, measures, seed,
+           algorithm_params):
+    """Child-process body: run the cell and ship the record back."""
+    from repro.harness.runner import run_cell
+    try:
+        record = run_cell(
+            algorithm_name, pair, dataset="", repetition=0,
+            assignment=assignment, measures=measures, seed=seed,
+            algorithm_params=algorithm_params,
+        )
+        connection.send(record)
+    except BaseException as exc:  # never let the child die silently
+        connection.send(exc)
+    finally:
+        connection.close()
+
+
+def run_cell_with_timeout(
+    algorithm_name: str,
+    pair: GraphPair,
+    dataset: str,
+    repetition: int,
+    timeout_seconds: float,
+    assignment: str = "jv",
+    measures: Sequence[str] = ("accuracy", "s3", "mnc"),
+    seed: int = 0,
+    algorithm_params: Optional[Dict] = None,
+) -> RunRecord:
+    """Run one cell in a child process, killed at ``timeout_seconds``.
+
+    Returns the child's :class:`RunRecord` on success, or a failed record
+    with error ``"timeout after ...s"`` when the deadline passes — exactly
+    how the paper's missing lines arise.
+    """
+    if timeout_seconds <= 0:
+        raise ExperimentError(
+            f"timeout must be positive, got {timeout_seconds}"
+        )
+    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() \
+        else mp.get_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(
+        target=_child,
+        args=(child_conn, algorithm_name, pair, assignment, tuple(measures),
+              seed, algorithm_params),
+    )
+    process.start()
+    child_conn.close()
+
+    timed_out = not parent_conn.poll(timeout_seconds)
+    if timed_out:
+        process.terminate()
+        process.join()
+        parent_conn.close()
+        return RunRecord(
+            algorithm=algorithm_name,
+            dataset=dataset,
+            noise_type=pair.noise_type,
+            noise_level=pair.noise_level,
+            repetition=repetition,
+            assignment=assignment,
+            measures={},
+            similarity_time=timeout_seconds,
+            assignment_time=0.0,
+            failed=True,
+            error=f"timeout after {timeout_seconds}s",
+        )
+    payload = parent_conn.recv()
+    process.join()
+    parent_conn.close()
+    if isinstance(payload, BaseException):
+        return RunRecord(
+            algorithm=algorithm_name,
+            dataset=dataset,
+            noise_type=pair.noise_type,
+            noise_level=pair.noise_level,
+            repetition=repetition,
+            assignment=assignment,
+            measures={},
+            similarity_time=0.0,
+            assignment_time=0.0,
+            failed=True,
+            error=f"{type(payload).__name__}: {payload}",
+        )
+    # Re-tag the child's record with the caller's dataset/repetition.
+    return RunRecord(
+        algorithm=payload.algorithm,
+        dataset=dataset,
+        noise_type=payload.noise_type,
+        noise_level=payload.noise_level,
+        repetition=repetition,
+        assignment=payload.assignment,
+        measures=payload.measures,
+        similarity_time=payload.similarity_time,
+        assignment_time=payload.assignment_time,
+        peak_memory_bytes=payload.peak_memory_bytes,
+        failed=payload.failed,
+        error=payload.error,
+    )

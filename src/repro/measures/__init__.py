@@ -1,0 +1,38 @@
+"""Alignment quality measures (paper §5.2).
+
+All measures take the alignment as an integer array ``mapping`` with
+``mapping[i]`` the target node assigned to source node ``i`` (``-1`` for
+unmatched).  :func:`evaluate_all` computes the full measure suite at once.
+"""
+
+from repro.measures.metrics import (
+    ALL_MEASURES,
+    accuracy,
+    edge_correctness,
+    evaluate_all,
+    induced_conserved_structure,
+    matched_neighborhood_consistency,
+    symmetric_substructure_score,
+)
+from repro.measures.significance import (
+    ComparisonResult,
+    bootstrap_mean_ci,
+    compare_algorithms,
+    paired_bootstrap_test,
+    wilcoxon_sign_test,
+)
+
+__all__ = [
+    "ALL_MEASURES",
+    "accuracy",
+    "matched_neighborhood_consistency",
+    "edge_correctness",
+    "induced_conserved_structure",
+    "symmetric_substructure_score",
+    "evaluate_all",
+    "bootstrap_mean_ci",
+    "paired_bootstrap_test",
+    "wilcoxon_sign_test",
+    "compare_algorithms",
+    "ComparisonResult",
+]

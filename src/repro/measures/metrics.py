@@ -1,0 +1,166 @@
+"""Implementations of Accuracy/NC, MNC, EC, ICS and S³.
+
+Conventions
+-----------
+* ``mapping[i]`` is the target node assigned to source node ``i``; ``-1``
+  marks an unmatched node, which never counts as correct and contributes no
+  aligned edges.
+* Edge-based measures follow the paper's definitions:
+  ``EC = |f(E_A)| / |E_A|`` (paper §5.2.3),
+  ``ICS = |f(E_A)| / |E(G_B[f(V_A)])|``,
+  ``S³ = |f(E_A)| / (|E_A| + |E(G_B[f(V_A)])| - |f(E_A)|)`` (Eq. 16).
+* MNC is the average Jaccard similarity between the *mapped* neighborhood of
+  each source node and the actual neighborhood of its image (Eq. 15).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "accuracy",
+    "matched_neighborhood_consistency",
+    "edge_correctness",
+    "induced_conserved_structure",
+    "symmetric_substructure_score",
+    "evaluate_all",
+    "ALL_MEASURES",
+]
+
+ALL_MEASURES = ("accuracy", "mnc", "ec", "ics", "s3")
+
+
+def _as_mapping(mapping: Sequence[int], n_source: int, n_target: int) -> np.ndarray:
+    arr = np.asarray(mapping, dtype=np.int64)
+    if arr.shape != (n_source,):
+        raise ReproError(
+            f"mapping must have one entry per source node, got shape {arr.shape}"
+        )
+    if arr.size and (arr.max() >= n_target or arr.min() < -1):
+        raise ReproError("mapping entries must be -1 or valid target node ids")
+    return arr
+
+
+def accuracy(mapping: Sequence[int], ground_truth: Sequence[int]) -> float:
+    """Node correctness: fraction of source nodes mapped to their true image.
+
+    Also called NC in the paper (§5.2.2) — "the count of corrected
+    alignments normalized by the total number of such alignments".
+    Unmatched predictions (-1) count as wrong; source nodes with *no true
+    counterpart* (ground truth -1, as under node-removal noise) are
+    excluded from the denominator.
+    """
+    pred = np.asarray(mapping, dtype=np.int64)
+    truth = np.asarray(ground_truth, dtype=np.int64)
+    if pred.shape != truth.shape:
+        raise ReproError(
+            f"mapping and ground truth differ in length: {pred.shape} vs {truth.shape}"
+        )
+    matchable = truth >= 0
+    if not matchable.any():
+        return 0.0
+    correct = (pred == truth) & matchable & (pred >= 0)
+    return float(correct.sum() / matchable.sum())
+
+
+def _aligned_edge_count(source: Graph, target: Graph, mapping: np.ndarray) -> int:
+    """``|f(E_A)|``: source edges whose images are target edges."""
+    edges = source.edges()
+    if edges.size == 0:
+        return 0
+    fu = mapping[edges[:, 0]]
+    fv = mapping[edges[:, 1]]
+    valid = (fu >= 0) & (fv >= 0) & (fu != fv)
+    count = 0
+    for a, b in zip(fu[valid], fv[valid]):
+        if target.has_edge(int(a), int(b)):
+            count += 1
+    return count
+
+
+def _induced_target_edges(target: Graph, mapping: np.ndarray) -> int:
+    """``|E(G_B[f(V_A)])|``: target edges inside the image of the mapping."""
+    image = np.unique(mapping[mapping >= 0])
+    member = np.zeros(target.num_nodes, dtype=bool)
+    member[image] = True
+    edges = target.edges()
+    if edges.size == 0:
+        return 0
+    return int(np.sum(member[edges[:, 0]] & member[edges[:, 1]]))
+
+
+def edge_correctness(source: Graph, target: Graph, mapping: Sequence[int]) -> float:
+    """EC: fraction of source edges preserved by the alignment."""
+    arr = _as_mapping(mapping, source.num_nodes, target.num_nodes)
+    if source.num_edges == 0:
+        return 0.0
+    return _aligned_edge_count(source, target, arr) / source.num_edges
+
+
+def induced_conserved_structure(source: Graph, target: Graph,
+                                mapping: Sequence[int]) -> float:
+    """ICS: aligned edges over edges of the target subgraph induced by the image."""
+    arr = _as_mapping(mapping, source.num_nodes, target.num_nodes)
+    induced = _induced_target_edges(target, arr)
+    if induced == 0:
+        return 0.0
+    return _aligned_edge_count(source, target, arr) / induced
+
+
+def symmetric_substructure_score(source: Graph, target: Graph,
+                                 mapping: Sequence[int]) -> float:
+    """S³ (Eq. 16): aligned edges over the union of source and induced edges."""
+    arr = _as_mapping(mapping, source.num_nodes, target.num_nodes)
+    aligned = _aligned_edge_count(source, target, arr)
+    induced = _induced_target_edges(target, arr)
+    denom = source.num_edges + induced - aligned
+    if denom == 0:
+        return 0.0
+    return aligned / denom
+
+
+def matched_neighborhood_consistency(source: Graph, target: Graph,
+                                     mapping: Sequence[int]) -> float:
+    """MNC (Eq. 15): mean Jaccard of mapped vs. actual neighborhoods.
+
+    For each matched source node ``i`` with image ``j = f(i)``, compares the
+    image of ``N_A(i)`` under ``f`` against ``N_B(j)``.  Nodes where both
+    sets are empty score 1 (a trivially consistent isolate); unmatched nodes
+    score 0.
+    """
+    arr = _as_mapping(mapping, source.num_nodes, target.num_nodes)
+    if source.num_nodes == 0:
+        return 0.0
+    scores = np.zeros(source.num_nodes)
+    for i in range(source.num_nodes):
+        j = arr[i]
+        if j < 0:
+            continue
+        mapped = arr[source.neighbors(i)]
+        mapped = set(int(x) for x in mapped[mapped >= 0])
+        actual = set(int(x) for x in target.neighbors(int(j)))
+        union = mapped | actual
+        if not union:
+            scores[i] = 1.0
+        else:
+            scores[i] = len(mapped & actual) / len(union)
+    return float(scores.mean())
+
+
+def evaluate_all(source: Graph, target: Graph, mapping: Sequence[int],
+                 ground_truth: Sequence[int] | None = None) -> Dict[str, float]:
+    """All five measures as a dict; accuracy requires ``ground_truth``."""
+    results = {
+        "mnc": matched_neighborhood_consistency(source, target, mapping),
+        "ec": edge_correctness(source, target, mapping),
+        "ics": induced_conserved_structure(source, target, mapping),
+        "s3": symmetric_substructure_score(source, target, mapping),
+    }
+    if ground_truth is not None:
+        results["accuracy"] = accuracy(mapping, ground_truth)
+    return results

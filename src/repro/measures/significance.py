@@ -1,0 +1,190 @@
+"""Statistical utilities for comparing algorithms across repetitions.
+
+The paper averages 5–10 noisy repetitions per cell and reads rankings off
+the means.  For a released benchmark framework, users should be able to
+ask whether "A beats B" survives the repetition noise; these helpers
+provide the standard machinery:
+
+* :func:`bootstrap_mean_ci` — percentile bootstrap confidence interval for
+  one algorithm's mean score;
+* :func:`paired_bootstrap_test` — paired bootstrap of the mean difference
+  on shared instances (the correct test here, since both algorithms see
+  the *same* noisy copies);
+* :func:`wilcoxon_sign_test` — a distribution-free paired sign test for
+  tiny repetition counts;
+* :func:`compare_algorithms` — convenience wrapper over a
+  :class:`~repro.harness.results.ResultTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+
+__all__ = [
+    "bootstrap_mean_ci",
+    "paired_bootstrap_test",
+    "wilcoxon_sign_test",
+    "compare_algorithms",
+    "ComparisonResult",
+]
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 10_000,
+    seed: Optional[int] = 0,
+) -> Tuple[float, float, float]:
+    """``(mean, low, high)`` percentile-bootstrap CI of the mean."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ExperimentError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ExperimentError(f"confidence must be in (0, 1), got {confidence}")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (float(arr.mean()),
+            float(np.quantile(means, alpha)),
+            float(np.quantile(means, 1.0 - alpha)))
+
+
+def paired_bootstrap_test(
+    scores_a: Sequence[float],
+    scores_b: Sequence[float],
+    resamples: int = 10_000,
+    seed: Optional[int] = 0,
+) -> Tuple[float, float]:
+    """``(mean difference, p-value)`` for paired samples A vs B.
+
+    The p-value is the two-sided bootstrap probability that the mean
+    difference's sign flips; small values mean the observed ordering is
+    stable under instance resampling.
+    """
+    a = np.asarray(list(scores_a), dtype=np.float64)
+    b = np.asarray(list(scores_b), dtype=np.float64)
+    if a.shape != b.shape or a.size == 0:
+        raise ExperimentError(
+            "paired test needs two equal-length non-empty samples"
+        )
+    diff = a - b
+    observed = float(diff.mean())
+    if np.allclose(diff, diff[0]):
+        # Degenerate: identical differences on every instance.
+        p_value = 0.0 if observed != 0 else 1.0
+        return observed, p_value
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, diff.size, size=(resamples, diff.size))
+    boot_means = diff[idx].mean(axis=1)
+    if observed >= 0:
+        tail = float(np.mean(boot_means <= 0.0))
+    else:
+        tail = float(np.mean(boot_means >= 0.0))
+    return observed, min(2.0 * tail, 1.0)
+
+
+def wilcoxon_sign_test(
+    scores_a: Sequence[float],
+    scores_b: Sequence[float],
+) -> Tuple[int, int, float]:
+    """Sign test: ``(wins_a, wins_b, two-sided binomial p-value)``.
+
+    Ties are dropped, following the standard convention.  Exact binomial
+    tail (no normal approximation), so it is valid at any sample size.
+    """
+    a = np.asarray(list(scores_a), dtype=np.float64)
+    b = np.asarray(list(scores_b), dtype=np.float64)
+    if a.shape != b.shape or a.size == 0:
+        raise ExperimentError(
+            "sign test needs two equal-length non-empty samples"
+        )
+    diff = a - b
+    wins_a = int(np.sum(diff > 0))
+    wins_b = int(np.sum(diff < 0))
+    n = wins_a + wins_b
+    if n == 0:
+        return wins_a, wins_b, 1.0
+    # Exact two-sided binomial tail at p = 1/2.
+    from math import comb
+    k = min(wins_a, wins_b)
+    tail = sum(comb(n, i) for i in range(0, k + 1)) / (2.0 ** n)
+    return wins_a, wins_b, min(2.0 * tail, 1.0)
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of comparing two algorithms on shared instances."""
+
+    algorithm_a: str
+    algorithm_b: str
+    measure: str
+    mean_difference: float
+    p_value: float
+    wins_a: int
+    wins_b: int
+    sample_size: int
+
+    @property
+    def significant(self) -> bool:
+        """Conventional alpha = 0.05 call on the paired bootstrap."""
+        return self.p_value < 0.05
+
+    def __str__(self) -> str:
+        verdict = "significant" if self.significant else "not significant"
+        return (f"{self.algorithm_a} vs {self.algorithm_b} on "
+                f"{self.measure}: Δ={self.mean_difference:+.4f} "
+                f"(p={self.p_value:.4f}, {verdict}; "
+                f"{self.wins_a}-{self.wins_b} of {self.sample_size})")
+
+
+def compare_algorithms(
+    table,
+    algorithm_a: str,
+    algorithm_b: str,
+    measure: str = "accuracy",
+    seed: Optional[int] = 0,
+    **conditions,
+) -> ComparisonResult:
+    """Paired comparison of two algorithms over a ResultTable's instances.
+
+    Records are paired by ``(dataset, noise_type, noise_level,
+    repetition)``; only instances where both algorithms succeeded enter
+    the test.
+    """
+    def keyed(name):
+        return {
+            (r.dataset, r.noise_type, r.noise_level, r.repetition):
+                r.measures[measure]
+            for r in table.filter(algorithm=name, **conditions)
+                          .successful().records
+            if measure in r.measures
+        }
+
+    scores_a = keyed(algorithm_a)
+    scores_b = keyed(algorithm_b)
+    shared = sorted(set(scores_a) & set(scores_b))
+    if not shared:
+        raise ExperimentError(
+            f"no shared successful instances between {algorithm_a!r} "
+            f"and {algorithm_b!r}"
+        )
+    a = [scores_a[key] for key in shared]
+    b = [scores_b[key] for key in shared]
+    diff, p_value = paired_bootstrap_test(a, b, seed=seed)
+    wins_a, wins_b, _sign_p = wilcoxon_sign_test(a, b)
+    return ComparisonResult(
+        algorithm_a=algorithm_a,
+        algorithm_b=algorithm_b,
+        measure=measure,
+        mean_difference=diff,
+        p_value=p_value,
+        wins_a=wins_a,
+        wins_b=wins_b,
+        sample_size=len(shared),
+    )

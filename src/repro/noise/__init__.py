@@ -1,0 +1,34 @@
+"""Noise models and alignment test-case construction (paper §5.1).
+
+The paper perturbs a base graph with one of three edge-noise strategies and
+permutes the node labels of the target, yielding a :class:`GraphPair` whose
+ground-truth alignment is known by construction:
+
+* **one-way** — remove edges from the target graph only,
+* **multimodal** — remove *and* add the same number of edges in the target,
+* **two-way** — remove edges from both source and target independently.
+"""
+
+from repro.noise.models import (
+    NOISE_TYPES,
+    add_random_edges,
+    remove_random_edges,
+)
+from repro.noise.pairs import GraphPair, make_pair, make_noisy_copies
+from repro.noise.extended import (
+    distance_noise_pair,
+    node_removal_pair,
+    poisson_edge_pair,
+)
+
+__all__ = [
+    "NOISE_TYPES",
+    "GraphPair",
+    "make_pair",
+    "make_noisy_copies",
+    "remove_random_edges",
+    "add_random_edges",
+    "node_removal_pair",
+    "distance_noise_pair",
+    "poisson_edge_pair",
+]

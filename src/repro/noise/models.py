@@ -1,0 +1,136 @@
+"""Edge-level noise primitives: random removal and random addition.
+
+Both primitives operate on :class:`~repro.graphs.Graph` values and return
+new graphs; removal can optionally preserve connectivity by refusing to cut
+bridges, which is how the paper generates the assignment-method experiment
+(Fig. 1: "removing edges ... while keeping the graph connected").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import NoiseError
+from repro.graphs.generators import SeedLike, as_rng
+from repro.graphs.graph import Graph
+
+__all__ = ["remove_random_edges", "add_random_edges", "NOISE_TYPES"]
+
+NOISE_TYPES = ("one-way", "multimodal", "two-way")
+
+
+def _is_bridge(adj: dict, u: int, v: int, n: int) -> bool:
+    """Whether edge (u, v) is a bridge in the graph given as an adjacency dict.
+
+    Checks reachability of ``v`` from ``u`` with the edge temporarily removed.
+    """
+    adj[u].discard(v)
+    adj[v].discard(u)
+    seen = {u}
+    stack = [u]
+    found = False
+    while stack and not found:
+        node = stack.pop()
+        for nb in adj[node]:
+            if nb == v:
+                found = True
+                break
+            if nb not in seen:
+                seen.add(nb)
+                stack.append(nb)
+    adj[u].add(v)
+    adj[v].add(u)
+    return not found
+
+
+def remove_random_edges(
+    graph: Graph,
+    count: int,
+    seed: SeedLike = None,
+    preserve_connectivity: bool = False,
+) -> Graph:
+    """Remove ``count`` uniformly random edges.
+
+    With ``preserve_connectivity=True``, edges that are bridges at removal
+    time are skipped; if fewer than ``count`` removable edges exist, a
+    :class:`NoiseError` is raised (mirroring the paper's procedure of
+    sampling noise "while keeping the graph connected").
+    """
+    if count < 0:
+        raise NoiseError(f"cannot remove a negative number of edges ({count})")
+    if count == 0:
+        return graph
+    if count > graph.num_edges:
+        raise NoiseError(
+            f"cannot remove {count} edges from a graph with {graph.num_edges}"
+        )
+    rng = as_rng(seed)
+    edges = graph.edges()
+    order = rng.permutation(edges.shape[0])
+
+    if not preserve_connectivity:
+        keep = np.ones(edges.shape[0], dtype=bool)
+        keep[order[:count]] = False
+        return Graph(graph.num_nodes, edges[keep])
+
+    adj = {u: set(map(int, graph.neighbors(u))) for u in range(graph.num_nodes)}
+    removed = 0
+    keep = np.ones(edges.shape[0], dtype=bool)
+    for idx in order:
+        if removed == count:
+            break
+        u, v = int(edges[idx, 0]), int(edges[idx, 1])
+        if _is_bridge(adj, u, v, graph.num_nodes):
+            continue
+        adj[u].discard(v)
+        adj[v].discard(u)
+        keep[idx] = False
+        removed += 1
+    if removed < count:
+        raise NoiseError(
+            f"only {removed} of {count} edges removable without disconnecting"
+        )
+    return Graph(graph.num_nodes, edges[keep])
+
+
+def add_random_edges(graph: Graph, count: int, seed: SeedLike = None) -> Graph:
+    """Add ``count`` uniformly random non-edges.
+
+    Raises :class:`NoiseError` when the graph lacks that many vacant pairs.
+    """
+    if count < 0:
+        raise NoiseError(f"cannot add a negative number of edges ({count})")
+    if count == 0:
+        return graph
+    n = graph.num_nodes
+    capacity = n * (n - 1) // 2 - graph.num_edges
+    if count > capacity:
+        raise NoiseError(f"cannot add {count} edges; only {capacity} slots free")
+    rng = as_rng(seed)
+    existing: Set[Tuple[int, int]] = graph.edge_set()
+    new: Set[Tuple[int, int]] = set()
+    # Rejection sampling is efficient while the graph is sparse; fall back to
+    # exhaustive enumeration when more than ~half the vacant pairs are needed.
+    if count <= capacity // 2 or n < 3:
+        while len(new) < count:
+            u = int(rng.integers(n))
+            v = int(rng.integers(n))
+            if u == v:
+                continue
+            pair = (min(u, v), max(u, v))
+            if pair in existing or pair in new:
+                continue
+            new.add(pair)
+    else:
+        vacant = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if (u, v) not in existing
+        ]
+        picks = rng.choice(len(vacant), size=count, replace=False)
+        new = {vacant[i] for i in picks}
+    merged = np.asarray(sorted(existing | new), dtype=np.int64)
+    return Graph(n, merged)

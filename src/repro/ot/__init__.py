@@ -1,0 +1,25 @@
+"""Optimal-transport substrate for GWL, S-GWL, and CONE.
+
+* :mod:`repro.ot.sinkhorn` — entropic OT via Sinkhorn–Knopp iterations.
+* :mod:`repro.ot.gromov` — Gromov–Wasserstein discrepancy (Peyré's tensor
+  formulation), the proximal-point GW solver of Xu et al., and GW
+  barycenter-based graph partitioning for S-GWL.
+* :mod:`repro.ot.procrustes` — the orthogonal Procrustes solve CONE
+  alternates with Sinkhorn.
+"""
+
+from repro.ot.sinkhorn import sinkhorn
+from repro.ot.gromov import (
+    gromov_wasserstein,
+    gw_discrepancy,
+    gw_gradient,
+)
+from repro.ot.procrustes import orthogonal_procrustes
+
+__all__ = [
+    "sinkhorn",
+    "gromov_wasserstein",
+    "gw_discrepancy",
+    "gw_gradient",
+    "orthogonal_procrustes",
+]

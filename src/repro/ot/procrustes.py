@@ -1,0 +1,30 @@
+"""Orthogonal Procrustes: the rotation step of CONE-Align (paper Eq. 12).
+
+Given two point clouds already matched row-to-row (through a transport
+plan), the optimal orthogonal map minimizing ``||X Q - Y||_F`` is
+``Q = U V^T`` from the SVD of ``X^T Y``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import AlgorithmError
+
+__all__ = ["orthogonal_procrustes"]
+
+
+def orthogonal_procrustes(source: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Orthogonal ``Q`` minimizing ``||source @ Q - target||_F``.
+
+    Both inputs are ``(n, d)``; the result is ``(d, d)`` with
+    ``Q^T Q = I``.
+    """
+    x = np.asarray(source, dtype=np.float64)
+    y = np.asarray(target, dtype=np.float64)
+    if x.shape != y.shape:
+        raise AlgorithmError(
+            f"procrustes inputs must share a shape, got {x.shape} vs {y.shape}"
+        )
+    u, _s, vt = np.linalg.svd(x.T @ y)
+    return u @ vt

@@ -1,0 +1,84 @@
+"""Entropic optimal transport via Sinkhorn–Knopp matrix scaling.
+
+Solves ``min_T <C, T> - eps * H(T)`` over couplings with marginals
+``(mu, nu)``.  Log-domain stabilization is applied automatically when the
+regularization is small relative to the cost spread, so callers never see
+numerical underflow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import AlgorithmError, ConvergenceError
+
+__all__ = ["sinkhorn"]
+
+
+def _check_marginal(weights: Optional[np.ndarray], size: int) -> np.ndarray:
+    if weights is None:
+        return np.full(size, 1.0 / size)
+    arr = np.asarray(weights, dtype=np.float64)
+    if arr.shape != (size,):
+        raise AlgorithmError(f"marginal must have shape ({size},), got {arr.shape}")
+    if np.any(arr < 0) or arr.sum() <= 0:
+        raise AlgorithmError("marginals must be non-negative and sum to > 0")
+    return arr / arr.sum()
+
+
+def sinkhorn(
+    cost: np.ndarray,
+    mu: Optional[np.ndarray] = None,
+    nu: Optional[np.ndarray] = None,
+    epsilon: float = 0.01,
+    max_iter: int = 500,
+    tol: float = 1e-9,
+    raise_on_failure: bool = False,
+) -> np.ndarray:
+    """Entropically regularized transport plan between ``mu`` and ``nu``.
+
+    Runs in the log domain for stability.  Returns the ``(n, m)`` coupling;
+    by default non-convergence returns the current plan (the iterative GW
+    solvers only need an approximate inner solve), while
+    ``raise_on_failure=True`` raises :class:`ConvergenceError`.
+    """
+    c = np.asarray(cost, dtype=np.float64)
+    if c.ndim != 2:
+        raise AlgorithmError(f"cost must be 2-D, got ndim={c.ndim}")
+    if epsilon <= 0:
+        raise AlgorithmError(f"epsilon must be positive, got {epsilon}")
+    n, m = c.shape
+    mu = _check_marginal(mu, n)
+    nu = _check_marginal(nu, m)
+
+    log_mu = np.log(np.maximum(mu, 1e-300))
+    log_nu = np.log(np.maximum(nu, 1e-300))
+    f = np.zeros(n)
+    g = np.zeros(m)
+    scaled = -c / epsilon
+
+    def _logsumexp(mat: np.ndarray, axis: int) -> np.ndarray:
+        peak = mat.max(axis=axis, keepdims=True)
+        peak = np.where(np.isfinite(peak), peak, 0.0)
+        return (peak + np.log(np.exp(mat - peak).sum(axis=axis, keepdims=True))).squeeze(axis)
+
+    converged = False
+    for _ in range(max_iter):
+        f_new = epsilon * (log_mu - _logsumexp(scaled + g[np.newaxis, :] / epsilon, axis=1))
+        g_new = epsilon * (
+            log_nu - _logsumexp(scaled + f_new[:, np.newaxis] / epsilon, axis=0)
+        )
+        shift = max(np.abs(f_new - f).max(), np.abs(g_new - g).max())
+        f, g = f_new, g_new
+        if shift < tol:
+            converged = True
+            break
+    if not converged and raise_on_failure:
+        raise ConvergenceError(f"Sinkhorn did not converge in {max_iter} iterations")
+    plan = np.exp(scaled + f[:, np.newaxis] / epsilon + g[np.newaxis, :] / epsilon)
+    # One exact row rescale keeps the mu-marginal tight.
+    row = plan.sum(axis=1)
+    row[row == 0] = 1.0
+    return plan * (mu / row)[:, np.newaxis]

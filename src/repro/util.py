@@ -1,0 +1,47 @@
+"""Small numerical utilities shared across algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pairwise_sq_dists", "frobenius_normalize", "degree_prior"]
+
+
+def pairwise_sq_dists(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between rows of ``x`` and rows of ``y``.
+
+    Shapes ``(n, d)`` and ``(m, d)`` give an ``(n, m)`` result; tiny negative
+    values from cancellation are clamped to zero.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    d2 = (
+        (x ** 2).sum(axis=1)[:, np.newaxis]
+        - 2.0 * x @ y.T
+        + (y ** 2).sum(axis=1)[np.newaxis, :]
+    )
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def frobenius_normalize(matrix: np.ndarray) -> np.ndarray:
+    """Scale a matrix to unit Frobenius norm (zero matrices pass through)."""
+    norm = np.linalg.norm(matrix)
+    if norm == 0:
+        return matrix
+    return matrix / norm
+
+
+def degree_prior(deg_a: np.ndarray, deg_b: np.ndarray) -> np.ndarray:
+    """The paper's degree-similarity prior (§6.1).
+
+    ``sim(u, v) = 1 - |deg(u) - deg(v)| / max(deg(u), deg(v))``, with the
+    convention that two isolated nodes are perfectly similar.
+    """
+    da = np.asarray(deg_a, dtype=np.float64)[:, np.newaxis]
+    db = np.asarray(deg_b, dtype=np.float64)[np.newaxis, :]
+    denom = np.maximum(da, db)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        sim = 1.0 - np.abs(da - db) / denom
+    sim[~np.isfinite(sim)] = 1.0  # both degrees zero
+    return sim

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    newman_watts_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+)
+from repro.noise import make_pair
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle():
+    """K3: the smallest graph with a triangle."""
+    return Graph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def small_path():
+    """P5: 0-1-2-3-4."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def small_cycle():
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def karate_like():
+    """A small connected ER graph used widely across tests."""
+    return erdos_renyi_graph(34, 0.15, seed=7)
+
+
+@pytest.fixture
+def pl_graph():
+    """A 120-node powerlaw-cluster graph (connected by construction)."""
+    return powerlaw_cluster_graph(120, 4, 0.3, seed=11)
+
+
+@pytest.fixture
+def nw_graph():
+    return newman_watts_graph(120, 6, 0.4, seed=11)
+
+
+@pytest.fixture
+def noisy_pair(pl_graph):
+    """A 2%-one-way-noise instance with known ground truth."""
+    return make_pair(pl_graph, "one-way", 0.02, seed=13)
+
+
+@pytest.fixture
+def clean_pair(pl_graph):
+    """An isomorphic (zero-noise) instance."""
+    return make_pair(pl_graph, "one-way", 0.0, seed=13)

@@ -1,0 +1,271 @@
+"""Per-algorithm behavior tests: the traits the paper attributes to each."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.algorithms import (
+    Cone,
+    GWL,
+    Graal,
+    Grasp,
+    IsoRank,
+    LREA,
+    NSD,
+    Regal,
+    SGWL,
+)
+from repro.exceptions import AlgorithmError
+from repro.graphs import (
+    barabasi_albert_graph,
+    powerlaw_cluster_graph,
+    random_regular_graph,
+)
+from repro.measures import accuracy
+from repro.noise import make_pair
+from repro.util import degree_prior
+
+PL = powerlaw_cluster_graph(80, 3, 0.3, seed=21)
+PL_PAIR = make_pair(PL, "one-way", 0.02, seed=22)
+
+
+class TestIsoRank:
+    def test_degree_prior_beats_uniform(self):
+        """The paper's §6.1 weight schema: the degree prior is the difference
+        between IsoRank being competitive and being mediocre."""
+        with_prior = IsoRank(prior="degree").align(
+            PL_PAIR.source, PL_PAIR.target, seed=0
+        )
+        without = IsoRank(prior="uniform").align(
+            PL_PAIR.source, PL_PAIR.target, seed=0
+        )
+        acc_with = accuracy(with_prior.mapping, PL_PAIR.ground_truth)
+        acc_without = accuracy(without.mapping, PL_PAIR.ground_truth)
+        assert acc_with > acc_without
+
+    def test_alpha_bounds_validated(self):
+        with pytest.raises(AlgorithmError):
+            IsoRank(alpha=1.5)
+
+    def test_prior_validated(self):
+        with pytest.raises(AlgorithmError):
+            IsoRank(prior="blast")
+
+    def test_similarity_normalized(self):
+        sim = IsoRank().similarity(PL_PAIR.source, PL_PAIR.target)
+        assert sim.sum() == pytest.approx(1.0, rel=1e-3)
+
+    def test_degree_prior_helper(self):
+        sim = degree_prior(np.array([4, 0]), np.array([4, 2, 0]))
+        assert sim[0, 0] == 1.0
+        assert sim[0, 1] == pytest.approx(0.5)
+        assert sim[1, 2] == 1.0  # both isolated -> perfectly similar
+        assert sim[1, 0] == 0.0
+
+
+class TestNSD:
+    def test_converges_toward_isorank(self):
+        """NSD is an unrolled IsoRank: with the same (degree) prior and many
+        iterations the two similarity matrices rank pairs consistently."""
+        iso = IsoRank(prior="degree", iterations=30).similarity(
+            PL_PAIR.source, PL_PAIR.target
+        )
+        nsd = NSD(prior="degree", iterations=30, components=10).similarity(
+            PL_PAIR.source, PL_PAIR.target
+        )
+        # Spearman-like check: top-scoring target per source agrees often.
+        agree = np.mean(np.argmax(iso, axis=1) == np.argmax(nsd, axis=1))
+        assert agree > 0.5
+
+    def test_uniform_prior_runs_without_preprocessing(self):
+        result = NSD(prior="uniform").align(PL_PAIR.source, PL_PAIR.target)
+        assert accuracy(result.mapping, PL_PAIR.ground_truth) > 0.3
+
+    def test_parameter_validation(self):
+        with pytest.raises(AlgorithmError):
+            NSD(alpha=-0.1)
+        with pytest.raises(AlgorithmError):
+            NSD(iterations=0)
+        with pytest.raises(AlgorithmError):
+            NSD(prior="blast")
+
+
+class TestLREA:
+    def test_perfect_on_isomorphic(self):
+        """The paper: LREA 'consistently finds the correct alignment on
+        graphs with no noise'."""
+        clean = make_pair(PL, "one-way", 0.0, seed=1)
+        result = LREA().align(clean.source, clean.target, assignment="mwm")
+        assert accuracy(result.mapping, clean.ground_truth) > 0.9
+
+    def test_collapses_under_noise(self):
+        """And drops sharply with only a few percent noise."""
+        noisy = make_pair(PL, "one-way", 0.05, seed=2)
+        result = LREA().align(noisy.source, noisy.target, assignment="mwm")
+        clean = make_pair(PL, "one-way", 0.0, seed=2)
+        base = LREA().align(clean.source, clean.target, assignment="mwm")
+        assert accuracy(result.mapping, noisy.ground_truth) < accuracy(
+            base.mapping, clean.ground_truth
+        )
+
+    def test_candidate_matchings_sparse(self):
+        cands = LREA().candidate_matchings(PL_PAIR.source, PL_PAIR.target)
+        assert sparse.issparse(cands)
+        n = PL_PAIR.source.num_nodes
+        assert cands.nnz < n * n / 2  # genuinely sparse
+        assert np.all(cands.data > 0)
+
+    def test_reward_ordering_validated(self):
+        with pytest.raises(AlgorithmError):
+            LREA(s_overlap=0.5, s_noninformative=1.0, s_conflict=0.1)
+
+
+class TestRegal:
+    def test_landmark_override(self):
+        algo = Regal(num_landmarks=12)
+        sim = algo.similarity(PL_PAIR.source, PL_PAIR.target, seed=0)
+        assert sim.shape == (80, 80)
+
+    def test_embeddings_joint_space(self):
+        emb_a, emb_b = Regal().embeddings(PL_PAIR.source, PL_PAIR.target, seed=0)
+        assert emb_a.shape[1] == emb_b.shape[1]
+
+    def test_max_hops_validated(self):
+        with pytest.raises(AlgorithmError):
+            Regal(max_hops=0)
+
+
+class TestGWL:
+    def test_good_on_powerlaw_bad_on_regular(self):
+        """The paper's headline GWL finding: it only discriminates nodes when
+        the degree distribution does."""
+        ba = barabasi_albert_graph(70, 3, seed=3)
+        ba_pair = make_pair(ba, "one-way", 0.0, seed=4)
+        reg = random_regular_graph(70, 6, seed=3)
+        reg_pair = make_pair(reg, "one-way", 0.0, seed=4)
+        algo = GWL(epochs=1)
+        ba_acc = accuracy(
+            algo.align(ba_pair.source, ba_pair.target, seed=0).mapping,
+            ba_pair.ground_truth,
+        )
+        reg_acc = accuracy(
+            algo.align(reg_pair.source, reg_pair.target, seed=0).mapping,
+            reg_pair.ground_truth,
+        )
+        assert ba_acc > 0.8
+        assert reg_acc < 0.3
+
+    def test_plan_is_distribution(self):
+        plan = GWL(epochs=1).similarity(PL_PAIR.source, PL_PAIR.target, seed=0)
+        assert plan.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(plan >= 0)
+
+    def test_epochs_validated(self):
+        with pytest.raises(AlgorithmError):
+            GWL(epochs=0)
+
+
+class TestSGWL:
+    def test_leaf_solve_matches_small_graphs(self):
+        result = SGWL(leaf_size=256).align(PL_PAIR.source, PL_PAIR.target, seed=0)
+        assert accuracy(result.mapping, PL_PAIR.ground_truth) > 0.7
+
+    def test_recursive_path_runs(self):
+        """Force partitioning by setting leaf_size below the graph size."""
+        algo = SGWL(leaf_size=40, partitions=2)
+        result = algo.align(PL_PAIR.source, PL_PAIR.target, seed=0)
+        assert result.mapping.shape == (80,)
+        # Block similarity matrix is sparse.
+        assert sparse.issparse(result.similarity)
+
+    def test_parameter_validation(self):
+        with pytest.raises(AlgorithmError):
+            SGWL(partitions=1)
+        with pytest.raises(AlgorithmError):
+            SGWL(leaf_size=1)
+
+
+class TestCone:
+    def test_structural_init_beats_frank_wolfe_on_er(self):
+        """The ablation the module docstring documents."""
+        from repro.graphs import erdos_renyi_graph
+        g = erdos_renyi_graph(70, 0.12, seed=5)
+        pair = make_pair(g, "one-way", 0.01, seed=6)
+        struct = Cone(init="structural").align(pair.source, pair.target, seed=0)
+        fw = Cone(init="frank-wolfe").align(pair.source, pair.target, seed=0)
+        acc_struct = accuracy(struct.mapping, pair.ground_truth)
+        acc_fw = accuracy(fw.mapping, pair.ground_truth)
+        assert acc_struct >= acc_fw
+        assert acc_struct > 0.7
+
+    def test_similarity_in_unit_interval(self):
+        sim = Cone().similarity(PL_PAIR.source, PL_PAIR.target, seed=0)
+        assert np.all(sim > 0) and np.all(sim <= 1.0)
+
+    def test_invalid_init_rejected(self):
+        with pytest.raises(AlgorithmError):
+            Cone(init="random")
+
+
+class TestGrasp:
+    def test_near_perfect_no_noise(self):
+        clean = make_pair(PL, "one-way", 0.0, seed=7)
+        result = Grasp().align(clean.source, clean.target)
+        assert accuracy(result.mapping, clean.ground_truth) > 0.85
+
+    def test_disconnection_hurts(self):
+        """The paper: GRASP 'falters on graphs with several connected
+        components'."""
+        from repro.graphs import Graph
+        connected = powerlaw_cluster_graph(60, 3, 0.3, seed=8)
+        pair_c = make_pair(connected, "one-way", 0.0, seed=9)
+        acc_connected = accuracy(
+            Grasp().align(pair_c.source, pair_c.target).mapping,
+            pair_c.ground_truth,
+        )
+        # Two disjoint copies of a 30-node graph: heavy eigenvalue degeneracy.
+        half = powerlaw_cluster_graph(30, 3, 0.3, seed=8)
+        edges = np.vstack([half.edges(), half.edges() + 30])
+        disconnected = Graph(60, edges)
+        pair_d = make_pair(disconnected, "one-way", 0.0, seed=9)
+        acc_disconnected = accuracy(
+            Grasp().align(pair_d.source, pair_d.target).mapping,
+            pair_d.ground_truth,
+        )
+        assert acc_connected > acc_disconnected
+
+    def test_k_clipped_to_graph_size(self):
+        small = powerlaw_cluster_graph(12, 2, 0.3, seed=10)
+        pair = make_pair(small, "one-way", 0.0, seed=11)
+        result = Grasp(k=50).align(pair.source, pair.target)
+        assert result.mapping.shape == (12,)
+
+    def test_params_validated(self):
+        with pytest.raises(AlgorithmError):
+            Grasp(k=0)
+        with pytest.raises(AlgorithmError):
+            Grasp(q=0)
+
+
+class TestGraal:
+    def test_native_alignment_default(self):
+        result = Graal().align(PL_PAIR.source, PL_PAIR.target)
+        assert result.assignment == "native"
+        assert accuracy(result.mapping, PL_PAIR.ground_truth) > 0.7
+
+    def test_standard_backend_available(self):
+        result = Graal().align(PL_PAIR.source, PL_PAIR.target, assignment="jv")
+        assert result.assignment == "jv"
+
+    def test_cost_matrix_range(self):
+        cost = Graal().cost_matrix(PL_PAIR.source, PL_PAIR.target)
+        assert np.all(cost >= 0.0) and np.all(cost <= 2.0)
+
+    def test_native_mapping_one_to_one(self):
+        result = Graal().align(PL_PAIR.source, PL_PAIR.target)
+        matched = result.mapping[result.mapping >= 0]
+        assert len(set(matched.tolist())) == len(matched)
+
+    def test_alpha_validated(self):
+        with pytest.raises(AlgorithmError):
+            Graal(alpha=2.0)

@@ -1,0 +1,123 @@
+"""Interface-contract tests run against every registered algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    ALGORITHM_REGISTRY,
+    get_algorithm,
+    list_algorithms,
+)
+from repro.algorithms.base import AlgorithmInfo, AlignmentResult
+from repro.exceptions import AlgorithmError
+from repro.graphs import Graph, powerlaw_cluster_graph
+from repro.measures import accuracy
+from repro.noise import make_pair
+
+ALL_NAMES = list_algorithms()
+
+# Small graph so the full matrix of tests stays fast; PL topology because
+# every algorithm in the paper handles power-law graphs at least moderately.
+BASE = powerlaw_cluster_graph(60, 3, 0.3, seed=42)
+CLEAN = make_pair(BASE, "one-way", 0.0, seed=43)
+
+
+class TestRegistry:
+    def test_all_nine_registered(self):
+        expected = {"isorank", "graal", "nsd", "lrea", "regal",
+                    "gwl", "s-gwl", "cone", "grasp"}
+        assert set(ALL_NAMES) == expected
+
+    def test_get_algorithm_case_insensitive(self):
+        assert type(get_algorithm("IsoRank")) is ALGORITHM_REGISTRY["isorank"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(AlgorithmError):
+            get_algorithm("deepalign9000")
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_info_complete(self, name):
+        info = ALGORITHM_REGISTRY[name].info
+        assert isinstance(info, AlgorithmInfo)
+        assert info.name == name
+        assert 2005 < info.year < 2023
+        assert info.default_assignment in ("nn", "sg", "mwm", "jv")
+        assert info.time_complexity.startswith("O(")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestContracts:
+    def test_similarity_shape(self, name):
+        algo = get_algorithm(name)
+        sim = algo.similarity(CLEAN.source, CLEAN.target, seed=0)
+        if hasattr(sim, "toarray"):
+            sim = sim.toarray()
+        assert sim.shape == (CLEAN.source.num_nodes, CLEAN.target.num_nodes)
+        assert np.all(np.isfinite(sim))
+
+    def test_align_returns_result(self, name):
+        algo = get_algorithm(name)
+        result = algo.align(CLEAN.source, CLEAN.target, seed=0)
+        assert isinstance(result, AlignmentResult)
+        assert result.mapping.shape == (CLEAN.source.num_nodes,)
+        assert result.similarity_time >= 0.0
+        assert result.assignment_time >= 0.0
+        assert result.total_time == pytest.approx(
+            result.similarity_time + result.assignment_time
+        )
+
+    def test_mapping_valid_targets(self, name):
+        result = get_algorithm(name).align(CLEAN.source, CLEAN.target, seed=0)
+        mapping = result.mapping
+        assert mapping.min() >= -1
+        assert mapping.max() < CLEAN.target.num_nodes
+
+    def test_jv_mapping_one_to_one(self, name):
+        result = get_algorithm(name).align(CLEAN.source, CLEAN.target,
+                                           assignment="jv", seed=0)
+        matched = result.mapping[result.mapping >= 0]
+        assert len(set(matched.tolist())) == len(matched)
+
+    def test_isomorphic_alignment_good(self, name):
+        """Every algorithm must do far better than chance on isomorphic input."""
+        result = get_algorithm(name).align(CLEAN.source, CLEAN.target, seed=0)
+        acc = accuracy(result.mapping, CLEAN.ground_truth)
+        assert acc > 0.5, f"{name} scored {acc} on isomorphic graphs"
+
+    def test_empty_graph_rejected(self, name):
+        with pytest.raises(AlgorithmError):
+            get_algorithm(name).align(Graph(0), CLEAN.target)
+
+    def test_non_graph_rejected(self, name):
+        with pytest.raises(AlgorithmError):
+            get_algorithm(name).align("nope", CLEAN.target)
+
+    def test_repr(self, name):
+        assert type(get_algorithm(name)).__name__ in repr(get_algorithm(name))
+
+
+@pytest.mark.parametrize("name", ["isorank", "grasp", "lrea", "nsd"])
+class TestDeterminism:
+    def test_same_seed_same_mapping(self, name):
+        a = get_algorithm(name).align(CLEAN.source, CLEAN.target, seed=7)
+        b = get_algorithm(name).align(CLEAN.source, CLEAN.target, seed=7)
+        assert np.array_equal(a.mapping, b.mapping)
+
+
+class TestRectangularInputs:
+    """Source and target of different sizes must not crash the pipeline."""
+
+    @pytest.mark.parametrize("name", ["isorank", "nsd", "regal", "grasp"])
+    def test_smaller_target(self, name):
+        source = powerlaw_cluster_graph(40, 3, 0.3, seed=1)
+        target = powerlaw_cluster_graph(30, 3, 0.3, seed=2)
+        result = get_algorithm(name).align(source, target, seed=0)
+        assert result.mapping.shape == (40,)
+        assert np.sum(result.mapping >= 0) <= 30
+
+    @pytest.mark.parametrize("name", ["isorank", "nsd", "regal", "grasp"])
+    def test_larger_target(self, name):
+        source = powerlaw_cluster_graph(30, 3, 0.3, seed=1)
+        target = powerlaw_cluster_graph(40, 3, 0.3, seed=2)
+        result = get_algorithm(name).align(source, target, seed=0)
+        assert result.mapping.shape == (30,)

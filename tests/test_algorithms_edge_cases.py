@@ -1,0 +1,62 @@
+"""Degenerate-input robustness for every algorithm.
+
+Each algorithm must survive (not necessarily solve well) tiny graphs,
+highly symmetric graphs, isolated nodes, and edgeless graphs — the inputs
+that break unguarded linear algebra (empty eigenbases, zero degrees,
+rank-0 similarity).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm, list_algorithms
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.measures import accuracy
+from repro.noise import make_pair
+
+CORNER_GRAPHS = {
+    "p2": path_graph(2),
+    "star": star_graph(10),
+    "complete": complete_graph(6),
+    "cycle": cycle_graph(8),
+    "isolated-nodes": Graph(6, [(0, 1), (1, 2), (2, 0)]),
+    "edgeless": Graph(4),
+}
+
+
+@pytest.mark.parametrize("name", sorted(list_algorithms()))
+@pytest.mark.parametrize("graph_name", sorted(CORNER_GRAPHS))
+class TestCornerInputs:
+    def test_self_alignment_runs(self, name, graph_name):
+        graph = CORNER_GRAPHS[graph_name]
+        result = get_algorithm(name).align(graph, graph, seed=0)
+        assert result.mapping.shape == (graph.num_nodes,)
+        assert np.all(result.mapping < graph.num_nodes)
+
+
+@pytest.mark.parametrize("name", sorted(list_algorithms()))
+class TestSymmetryLimits:
+    def test_star_center_identified(self, name):
+        """Even on a fully symmetric star, the unique center must map to
+        the center (leaves are interchangeable — any leaf image is fine)."""
+        graph = star_graph(12)
+        pair = make_pair(graph, "one-way", 0.0, seed=5)
+        result = get_algorithm(name).align(pair.source, pair.target, seed=0)
+        center_image = result.mapping[0]
+        true_center = pair.ground_truth[0]
+        assert center_image == true_center, name
+
+    def test_complete_graph_any_permutation_perfect(self, name):
+        """On K_n every bijection is a perfect alignment: EC must be 1."""
+        from repro.measures import edge_correctness
+        graph = complete_graph(7)
+        result = get_algorithm(name).align(graph, graph, seed=0)
+        mapping = result.mapping
+        if np.all(mapping >= 0):
+            assert edge_correctness(graph, graph, mapping) == 1.0

@@ -1,0 +1,48 @@
+"""Tests for the top-level convenience API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.graphs import powerlaw_cluster_graph
+from repro.noise import make_pair
+
+
+class TestAlign:
+    def test_basic(self):
+        g = powerlaw_cluster_graph(50, 3, 0.3, seed=0)
+        pair = make_pair(g, "one-way", 0.0, seed=1)
+        result = repro.align(pair.source, pair.target, method="isorank")
+        assert result.algorithm == "isorank"
+        assert repro.measures.accuracy(result.mapping, pair.ground_truth) > 0.8
+
+    def test_method_params_forwarded(self):
+        g = powerlaw_cluster_graph(40, 3, 0.3, seed=0)
+        pair = make_pair(g, "one-way", 0.0, seed=1)
+        result = repro.align(pair.source, pair.target, method="isorank",
+                             alpha=0.5)
+        assert result.mapping.shape == (40,)
+
+    def test_assignment_choice(self):
+        g = powerlaw_cluster_graph(40, 3, 0.3, seed=0)
+        pair = make_pair(g, "one-way", 0.0, seed=1)
+        result = repro.align(pair.source, pair.target, method="nsd",
+                             assignment="sg")
+        assert result.assignment == "sg"
+
+    def test_unknown_method(self):
+        g = powerlaw_cluster_graph(30, 3, 0.3, seed=0)
+        with pytest.raises(repro.ReproError):
+            repro.align(g, g, method="alphago")
+
+    def test_version_exposed(self):
+        assert repro.__version__
+
+    def test_list_algorithms(self):
+        assert len(repro.list_algorithms()) == 9
+
+    def test_docstring_example(self):
+        graph = repro.graphs.powerlaw_cluster_graph(200, 4, 0.3, seed=1)
+        pair = repro.noise.make_pair(graph, "one-way", 0.02, seed=2)
+        result = repro.align(pair.source, pair.target, method="isorank")
+        assert repro.measures.accuracy(result.mapping, pair.ground_truth) > 0.8

@@ -1,0 +1,53 @@
+"""Tests for the terminal line-plot renderer."""
+
+import numpy as np
+
+from repro.harness import line_plot
+
+
+class TestLinePlot:
+    def test_basic_structure(self):
+        text = line_plot({"a": [(0, 0.0), (1, 1.0)]}, title="demo")
+        assert text.startswith("demo")
+        assert "legend" in text
+        assert "o=a" in text
+
+    def test_multiple_series_distinct_markers(self):
+        text = line_plot({
+            "alpha": [(0, 0.2), (1, 0.4)],
+            "beta": [(0, 0.9), (1, 0.1)],
+        })
+        assert "o=alpha" in text and "x=beta" in text
+
+    def test_unit_interval_axis_padding(self):
+        text = line_plot({"a": [(0, 0.4), (1, 0.6)]})
+        assert "1.00" in text and "0.00" in text
+
+    def test_wide_range_axis(self):
+        text = line_plot({"a": [(0, 0.0), (1, 50.0)]})
+        assert "50.00" in text
+
+    def test_nan_points_skipped(self):
+        text = line_plot({"a": [(0, 0.5), (1, float("nan")), (2, 0.7)]})
+        assert "o=a" in text
+
+    def test_all_nan_series_dropped(self):
+        text = line_plot({
+            "good": [(0, 0.5)],
+            "bad": [(0, float("nan"))],
+        })
+        assert "good" in text
+        assert "bad" not in text
+
+    def test_empty_input(self):
+        assert "(no data)" in line_plot({}, title="t")
+
+    def test_single_point(self):
+        text = line_plot({"a": [(0.5, 0.5)]})
+        assert "o=a" in text
+
+    def test_dimensions(self):
+        text = line_plot({"a": [(0, 0), (1, 1)]}, width=30, height=8)
+        rows = [l for l in text.splitlines() if "|" in l]
+        assert len(rows) == 8
+        assert all(len(row.split("|", 1)[1]) == 30 for row in rows)

@@ -1,0 +1,72 @@
+"""Tests for the auction LAP solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.assignment import auction_assignment
+from repro.exceptions import AssignmentError
+
+
+class TestCorrectness:
+    def test_identity_benefit(self):
+        sim = np.eye(6)
+        assert auction_assignment(sim).tolist() == list(range(6))
+
+    def test_permutation_benefit(self):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(12)
+        sim = np.zeros((12, 12))
+        sim[np.arange(12), perm] = 1.0
+        assert np.array_equal(auction_assignment(sim), perm)
+
+    def test_exact_on_integer_benefits(self):
+        rng = np.random.default_rng(1)
+        for _ in range(15):
+            n = int(rng.integers(2, 25))
+            sim = rng.integers(0, 40, size=(n, n)).astype(float)
+            ours = auction_assignment(sim)
+            rows, cols = linear_sum_assignment(-sim)
+            assert sim[np.arange(n), ours].sum() == sim[rows, cols].sum()
+
+    def test_one_to_one(self):
+        rng = np.random.default_rng(2)
+        mapping = auction_assignment(rng.random((20, 20)))
+        assert sorted(mapping.tolist()) == list(range(20))
+
+    def test_epsilon_bound_on_real_benefits(self):
+        """Continuous benefits: within n * final_epsilon of the optimum."""
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            n = int(rng.integers(3, 30))
+            sim = rng.random((n, n))
+            ours = auction_assignment(sim)
+            rows, cols = linear_sum_assignment(-sim)
+            spread = sim.max() - sim.min()
+            bound = spread * n / (n + 1) / n * n  # = spread, loose but safe
+            gap = sim[rows, cols].sum() - sim[np.arange(n), ours].sum()
+            assert 0.0 <= gap <= max(spread, 1e-9)
+
+    def test_empty(self):
+        assert auction_assignment(np.empty((0, 0))).size == 0
+
+    @given(st.integers(2, 14), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_integer_optimality(self, n, seed):
+        sim = np.random.default_rng(seed).integers(0, 30, (n, n)).astype(float)
+        ours = auction_assignment(sim)
+        rows, cols = linear_sum_assignment(-sim)
+        assert sim[np.arange(n), ours].sum() == pytest.approx(
+            sim[rows, cols].sum()
+        )
+
+
+class TestValidation:
+    def test_rectangular_rejected(self):
+        with pytest.raises(AssignmentError):
+            auction_assignment(np.zeros((2, 3)))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(AssignmentError):
+            auction_assignment(np.array([[np.inf, 0.0], [0.0, 1.0]]))

@@ -1,0 +1,103 @@
+"""Tests for the benchmark suite's shared machinery."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.helpers import (  # noqa: E402
+    ALL_ALGORITHMS,
+    budget_failure,
+    eligible,
+    node_cap,
+    run_matrix,
+    synthetic_model_graph,
+)
+from repro.harness import PROFILES  # noqa: E402
+from repro.noise import make_pair  # noqa: E402
+
+
+class TestBudgetEmulation:
+    def test_caps_ordered_by_profile(self):
+        for algo in ("gwl", "cone", "isorank"):
+            assert (node_cap(algo, PROFILES["quick"])
+                    <= node_cap(algo, PROFILES["medium"])
+                    <= node_cap(algo, PROFILES["full"]))
+
+    def test_eligibility(self):
+        quick = PROFILES["quick"]
+        assert eligible("nsd", 3000, quick)
+        assert not eligible("gwl", 3000, quick)
+
+    def test_unknown_algorithm_unbounded(self):
+        assert eligible("degree-baseline", 10 ** 8, PROFILES["quick"])
+
+    def test_budget_failure_record(self):
+        graph = synthetic_model_graph("pl", 40, seed=0)
+        pair = make_pair(graph, "one-way", 0.0, seed=1)
+        record = budget_failure("gwl", pair, "test", 0, "jv")
+        assert record.failed
+        assert "budget" in record.error
+
+
+class TestSyntheticModels:
+    @pytest.mark.parametrize("model", ["er", "ba", "ws", "nw", "pl"])
+    def test_models_generate(self, model):
+        graph = synthetic_model_graph(model, 120, seed=0)
+        assert graph.num_nodes == 120
+        assert graph.num_edges > 0
+
+    def test_er_degree_matches_paper(self):
+        """ER keeps the paper's average degree (p=0.009 at n=1133 ~ 10.2)."""
+        graph = synthetic_model_graph("er", 1133, seed=0)
+        assert abs(graph.average_degree - 10.2) < 1.0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_model_graph("hyperbolic", 100)
+
+
+class TestReporting:
+    def test_emit_prints_and_persists(self, tmp_path, capsys):
+        from benchmarks.helpers import emit
+        text = emit(tmp_path, "demo", "section one", "section two")
+        assert "section one" in text
+        assert (tmp_path / "demo.txt").read_text().count("section") == 2
+        assert "demo" in capsys.readouterr().out
+
+    def test_figure_report_sections(self):
+        from benchmarks.helpers import figure_report
+        from repro.harness import ResultTable, RunRecord
+        records = [
+            RunRecord(algorithm="a", dataset="d", noise_type="one-way",
+                      noise_level=level, repetition=0, assignment="jv",
+                      measures={"accuracy": 1.0 - level}, similarity_time=0,
+                      assignment_time=0)
+            for level in (0.0, 0.05)
+        ]
+        sections = figure_report(ResultTable(records),
+                                 measures=("accuracy",))
+        assert any("accuracy / one-way" in s for s in sections)
+        assert any("legend" in s for s in sections)  # the ascii chart
+
+
+class TestRunMatrix:
+    def test_budget_cells_marked_failed(self):
+        quick = PROFILES["quick"]
+        graph = synthetic_model_graph("pl", 600, seed=0)  # above gwl's cap
+        pair = make_pair(graph, "one-way", 0.0, seed=1)
+        table = run_matrix([(pair, 0)], ("gwl", "nsd"), quick,
+                           measures=("accuracy",))
+        gwl = table.filter(algorithm="gwl").records
+        nsd = table.filter(algorithm="nsd").records
+        assert gwl[0].failed and not nsd[0].failed
+
+    def test_bare_pairs_numbered(self):
+        quick = PROFILES["quick"]
+        graph = synthetic_model_graph("pl", 50, seed=0)
+        pairs = [make_pair(graph, "one-way", 0.0, seed=s) for s in (1, 2)]
+        table = run_matrix(pairs, ("nsd",), quick, measures=("accuracy",))
+        assert {r.repetition for r in table.records} == {0, 1}

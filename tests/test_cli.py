@@ -1,0 +1,134 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import powerlaw_cluster_graph, write_edgelist
+from repro.graphs.operations import permute_graph
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestAlgorithmsCommand:
+    def test_lists_all_nine(self):
+        code, text = _run(["algorithms"])
+        assert code == 0
+        for name in ("isorank", "graal", "nsd", "lrea", "regal",
+                     "gwl", "s-gwl", "cone", "grasp"):
+            assert name in text
+
+
+class TestDatasetsCommand:
+    def test_lists_registry(self):
+        code, text = _run(["datasets"])
+        assert code == 0
+        assert "arenas" in text and "n=1133" in text
+
+    def test_with_scale_generates(self):
+        code, text = _run(["datasets", "--scale", "0.05"])
+        assert code == 0
+        assert "stand-in" in text
+
+
+class TestAlignCommand:
+    @pytest.fixture
+    def edge_files(self, tmp_path):
+        graph = powerlaw_cluster_graph(40, 3, 0.3, seed=0)
+        permuted = permute_graph(
+            graph, np.random.default_rng(1).permutation(40)
+        )
+        a = tmp_path / "a.edges"
+        b = tmp_path / "b.edges"
+        write_edgelist(graph, a)
+        write_edgelist(permuted, b)
+        return str(a), str(b)
+
+    def test_align_to_stdout(self, edge_files):
+        a, b = edge_files
+        code, text = _run(["align", a, b, "--method", "isorank"])
+        assert code == 0
+        lines = [l for l in text.splitlines() if l and not l.startswith("#")]
+        assert len(lines) == 40
+        assert any(line.startswith("# isorank") for line in text.splitlines())
+
+    def test_align_to_file(self, edge_files, tmp_path):
+        a, b = edge_files
+        out_file = tmp_path / "mapping.txt"
+        code, text = _run(["align", a, b, "--method", "nsd",
+                           "--output", str(out_file)])
+        assert code == 0
+        assert len(out_file.read_text().splitlines()) == 40
+
+    def test_unknown_method_rejected(self, edge_files):
+        a, b = edge_files
+        with pytest.raises(SystemExit):
+            _run(["align", a, b, "--method", "alphafold"])
+
+
+class TestExperimentCommand:
+    def test_sweep_and_csv(self, tmp_path):
+        csv_path = tmp_path / "records.csv"
+        code, text = _run([
+            "experiment", "--dataset", "ca-netscience",
+            "--algorithms", "isorank", "nsd",
+            "--levels", "0", "0.02", "--reps", "1",
+            "--scale", "0.3", "--csv", str(csv_path),
+        ])
+        assert code == 0
+        assert "isorank" in text and "nsd" in text
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert "accuracy" in header
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            _run(["experiment", "--dataset", "nope",
+                  "--algorithms", "isorank"])
+
+
+class TestTuneCommand:
+    def test_single_param_sweep(self):
+        code, text = _run([
+            "tune", "--dataset", "ca-netscience", "--method", "isorank",
+            "--param", "alpha", "--values", "0.5", "0.9",
+            "--copies", "1", "--scale", "0.3",
+        ])
+        assert code == 0
+        assert "grid search: isorank" in text
+        assert "<- best" in text
+
+    def test_string_values_parsed(self):
+        code, text = _run([
+            "tune", "--dataset", "ca-netscience", "--method", "isorank",
+            "--param", "prior", "--values", "degree", "uniform",
+            "--copies", "1", "--scale", "0.3",
+        ])
+        assert code == 0
+        assert "prior=degree" in text
+
+
+class TestAlignRefine:
+    def test_refine_flag(self, tmp_path):
+        graph = powerlaw_cluster_graph(40, 3, 0.3, seed=2)
+        permuted = permute_graph(
+            graph, np.random.default_rng(3).permutation(40)
+        )
+        a, b = tmp_path / "a.edges", tmp_path / "b.edges"
+        write_edgelist(graph, a)
+        write_edgelist(permuted, b)
+        code, text = _run(["align", str(a), str(b), "--method", "nsd",
+                           "--refine"])
+        assert code == 0
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

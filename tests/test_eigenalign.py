@@ -1,0 +1,61 @@
+"""EigenAlign reference tests, including LREA cross-validation (§3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import LREA, list_algorithms
+from repro.algorithms.eigenalign import EigenAlign
+from repro.exceptions import AlgorithmError
+from repro.graphs import powerlaw_cluster_graph, erdos_renyi_graph
+from repro.measures import accuracy
+from repro.noise import make_pair
+
+
+class TestEigenAlign:
+    def test_reference_not_registered(self):
+        """EigenAlign is a validation reference, not one of the nine."""
+        assert "eigenalign" not in list_algorithms()
+
+    def test_perfect_on_isomorphic(self):
+        graph = powerlaw_cluster_graph(50, 3, 0.3, seed=131)
+        pair = make_pair(graph, "one-way", 0.0, seed=132)
+        result = EigenAlign().align(pair.source, pair.target,
+                                    assignment="jv")
+        assert accuracy(result.mapping, pair.ground_truth) > 0.9
+
+    def test_size_limit_enforced(self):
+        big = erdos_renyi_graph(2500, 0.004, seed=0)
+        with pytest.raises(AlgorithmError):
+            EigenAlign().similarity(big, big)
+
+    def test_reward_ordering_validated(self):
+        with pytest.raises(AlgorithmError):
+            EigenAlign(s_overlap=0.1, s_noninformative=1.0, s_conflict=0.5)
+
+
+class TestLreaCrossValidation:
+    """LREA's factored power iteration must reproduce the dense reference
+    — Nassar et al.'s own validation of the low-rank method."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_similarity_matrices_align(self, seed):
+        graph = erdos_renyi_graph(30, 0.25, seed=140 + seed)
+        pair = make_pair(graph, "one-way", 0.03, seed=150 + seed)
+        dense = EigenAlign(iterations=25).similarity(pair.source, pair.target)
+        low_rank = LREA(iterations=25, max_rank=40).similarity(
+            pair.source, pair.target
+        )
+        # Same iterate up to scale: compare normalized matrices.
+        dense = dense / np.linalg.norm(dense)
+        low_rank = low_rank / np.linalg.norm(low_rank)
+        corr = float((dense * low_rank).sum())
+        assert corr > 0.99
+
+    def test_same_top_matches(self):
+        graph = powerlaw_cluster_graph(40, 3, 0.3, seed=160)
+        pair = make_pair(graph, "one-way", 0.0, seed=161)
+        dense = EigenAlign().align(pair.source, pair.target, assignment="jv")
+        low_rank = LREA(max_rank=40).align(pair.source, pair.target,
+                                           assignment="jv")
+        agreement = np.mean(dense.mapping == low_rank.mapping)
+        assert agreement > 0.85

@@ -1,0 +1,106 @@
+"""Tests for the embedding substrate (xNetMF and NetMF)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import netmf_embeddings, structural_features, xnetmf_embeddings
+from repro.exceptions import AlgorithmError
+from repro.graphs import Graph, path_graph, star_graph
+from repro.graphs.operations import permute_graph
+from repro.util import pairwise_sq_dists
+
+
+class TestStructuralFeatures:
+    def test_star_center_vs_leaf(self):
+        g = star_graph(9)  # center degree 8, leaves degree 1
+        feats = structural_features(g, max_hops=1)
+        # Center sees 8 degree-1 neighbors (bucket 0); leaves see one
+        # degree-8 neighbor (bucket 3).
+        assert feats[0, 0] == 8
+        assert feats[1, 3] == 1
+
+    def test_hop_discount(self):
+        g = path_graph(5)
+        feats = structural_features(g, max_hops=2, delta=0.5)
+        # Node 0: hop-1 = {1} (deg 2, bucket 1); hop-2 = {2} (deg 2) * 0.5.
+        assert feats[0, 1] == pytest.approx(1.0 + 0.5)
+
+    def test_fixed_width(self, pl_graph):
+        feats = structural_features(pl_graph, num_buckets=12)
+        assert feats.shape == (pl_graph.num_nodes, 12)
+
+    def test_width_too_small_rejected(self, pl_graph):
+        with pytest.raises(AlgorithmError):
+            structural_features(pl_graph, num_buckets=1)
+
+    def test_permutation_equivariance(self, pl_graph):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(pl_graph.num_nodes)
+        permuted = permute_graph(pl_graph, perm)
+        feats = structural_features(pl_graph)
+        feats_perm = structural_features(permuted)
+        assert np.allclose(feats, feats_perm[perm])
+
+
+class TestXnetmf:
+    def test_joint_embedding_shapes(self, pl_graph, nw_graph):
+        emb_a, emb_b = xnetmf_embeddings([pl_graph, nw_graph], seed=0)
+        assert emb_a.shape[0] == pl_graph.num_nodes
+        assert emb_b.shape[0] == nw_graph.num_nodes
+        assert emb_a.shape[1] == emb_b.shape[1]
+
+    def test_rows_normalized(self, pl_graph):
+        (emb,) = xnetmf_embeddings([pl_graph], seed=0)
+        norms = np.linalg.norm(emb, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_isomorphic_nodes_land_close(self, pl_graph):
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(pl_graph.num_nodes)
+        permuted = permute_graph(pl_graph, perm)
+        emb_a, emb_b = xnetmf_embeddings([pl_graph, permuted], seed=0)
+        dists = pairwise_sq_dists(emb_a, emb_b)
+        nearest = np.argmin(dists, axis=1)
+        # Structural embeddings cannot break all symmetry, but a clear
+        # majority of nodes must find their true image nearest.
+        assert np.mean(nearest == perm) > 0.5
+
+    def test_landmark_count_override(self, pl_graph):
+        emb, = xnetmf_embeddings([pl_graph], num_landmarks=7, seed=0)
+        assert emb.shape[1] == 7
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(AlgorithmError):
+            xnetmf_embeddings([])
+
+
+class TestNetmf:
+    def test_shape_and_clipping(self, pl_graph):
+        emb = netmf_embeddings(pl_graph, dim=64)
+        assert emb.shape == (pl_graph.num_nodes, 64)
+        small = netmf_embeddings(path_graph(5), dim=64)
+        assert small.shape == (5, 4)  # clipped to n - 1
+
+    def test_deterministic(self, pl_graph):
+        a = netmf_embeddings(pl_graph, dim=16)
+        b = netmf_embeddings(pl_graph, dim=16)
+        assert np.array_equal(a, b)
+
+    def test_connected_nodes_closer_than_random(self, pl_graph):
+        emb = netmf_embeddings(pl_graph, dim=32)
+        dists = pairwise_sq_dists(emb, emb)
+        edges = pl_graph.edges()
+        edge_mean = dists[edges[:, 0], edges[:, 1]].mean()
+        assert edge_mean < dists.mean()
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(AlgorithmError):
+            netmf_embeddings(Graph(0))
+
+    def test_edgeless_graph_zero_embedding(self):
+        emb = netmf_embeddings(Graph(4), dim=3)
+        assert np.all(emb == 0)
+
+    def test_invalid_window_rejected(self, pl_graph):
+        with pytest.raises(AlgorithmError):
+            netmf_embeddings(pl_graph, window=0)

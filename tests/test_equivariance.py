@@ -1,0 +1,70 @@
+"""Permutation-equivariance of similarity computations.
+
+An unrestricted aligner may use nothing but structure, so relabeling the
+input nodes must permute its similarity matrix accordingly:
+``sim(P_a G_a, P_b G_b) = P_a sim(G_a, G_b) P_b^T``.  This holds exactly
+for the deterministic algorithms; it is the formal statement of
+"unrestricted" and catches any accidental dependence on node order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.graphs import powerlaw_cluster_graph
+from repro.graphs.operations import permute_graph
+from repro.noise import make_pair
+
+SOURCE = powerlaw_cluster_graph(40, 3, 0.3, seed=121)
+TARGET = make_pair(SOURCE, "one-way", 0.05, seed=122).target
+
+# Deterministic similarity stages with no randomized components.
+_EXACT = ("isorank", "nsd", "graal", "lrea")
+
+
+@pytest.mark.parametrize("name", _EXACT)
+class TestExactEquivariance:
+    def test_row_permutation(self, name):
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(SOURCE.num_nodes)
+        base = get_algorithm(name).similarity(SOURCE, TARGET, seed=0)
+        permuted = get_algorithm(name).similarity(
+            permute_graph(SOURCE, perm), TARGET, seed=0
+        )
+        if hasattr(base, "toarray"):
+            base, permuted = base.toarray(), permuted.toarray()
+        assert np.allclose(permuted[perm], base, atol=1e-8)
+
+    def test_column_permutation(self, name):
+        rng = np.random.default_rng(2)
+        perm = rng.permutation(TARGET.num_nodes)
+        base = get_algorithm(name).similarity(SOURCE, TARGET, seed=0)
+        permuted = get_algorithm(name).similarity(
+            SOURCE, permute_graph(TARGET, perm), seed=0
+        )
+        if hasattr(base, "toarray"):
+            base, permuted = base.toarray(), permuted.toarray()
+        assert np.allclose(permuted[:, perm], base, atol=1e-8)
+
+
+class TestAlignmentQualityInvariance:
+    """Relabeled inputs must yield the *same accuracy*, not just run."""
+
+    @pytest.mark.parametrize("name", ["isorank", "nsd", "graal"])
+    def test_accuracy_label_invariant(self, name):
+        from repro.measures import accuracy
+        pair = make_pair(SOURCE, "one-way", 0.02, seed=123)
+        base = get_algorithm(name).align(pair.source, pair.target, seed=0)
+        base_acc = accuracy(base.mapping, pair.ground_truth)
+
+        rng = np.random.default_rng(3)
+        perm = rng.permutation(pair.source.num_nodes)
+        relabeled_source = permute_graph(pair.source, perm)
+        # Truth for the relabeled source: node perm[i] of the new source is
+        # old node i, so truth'[perm[i]] = truth[i].
+        new_truth = np.empty_like(pair.ground_truth)
+        new_truth[perm] = pair.ground_truth
+        relabeled = get_algorithm(name).align(relabeled_source, pair.target,
+                                              seed=0)
+        relabeled_acc = accuracy(relabeled.mapping, new_truth)
+        assert relabeled_acc == pytest.approx(base_acc, abs=0.1)

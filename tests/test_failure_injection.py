@@ -1,0 +1,104 @@
+"""Failure injection: the harness must degrade gracefully, never crash.
+
+The paper's sweeps run hundreds of cells; a single numerical breakdown,
+memory blowout, or misconfiguration must become a failed record (a missing
+point in a figure), not a dead experiment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import (
+    ALGORITHM_REGISTRY,
+    AlgorithmInfo,
+    AlignmentAlgorithm,
+    register_algorithm,
+)
+from repro.exceptions import AlgorithmError, ConvergenceError
+from repro.graphs import powerlaw_cluster_graph
+from repro.harness import ExperimentConfig, run_cell, run_experiment
+from repro.noise import make_pair
+
+PAIR = make_pair(powerlaw_cluster_graph(40, 3, 0.3, seed=99), "one-way",
+                 0.0, seed=100)
+
+
+def _make_failing(name: str, exc: BaseException):
+    class _Failing(AlignmentAlgorithm):
+        info = AlgorithmInfo(
+            name=name, year=2026, preprocessing="no", biological=False,
+            default_assignment="jv", optimizes="any", time_complexity="O(1)",
+            parameters={},
+        )
+
+        def _similarity(self, source, target, rng):
+            raise exc
+
+    return _Failing
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    yield
+    for key in list(ALGORITHM_REGISTRY):
+        if key.startswith("_fail"):
+            ALGORITHM_REGISTRY.pop(key)
+
+
+class TestRunCellFailureCapture:
+    @pytest.mark.parametrize("exc", [
+        AlgorithmError("bad configuration"),
+        ConvergenceError("did not converge"),
+        np.linalg.LinAlgError("singular matrix"),
+        MemoryError("256Gb exceeded"),
+    ])
+    def test_known_failures_become_records(self, exc):
+        name = f"_fail-{type(exc).__name__.lower()}"
+        register_algorithm(_make_failing(name, exc))
+        record = run_cell(name, PAIR, "pl", 0)
+        assert record.failed
+        assert type(exc).__name__ in record.error
+
+    def test_unexpected_exception_propagates(self):
+        """Programming errors must NOT be swallowed as failed records."""
+        register_algorithm(_make_failing("_fail-type", TypeError("bug")))
+        with pytest.raises(TypeError):
+            run_cell("_fail-type", PAIR, "pl", 0)
+
+
+class TestSweepContinuesPastFailures:
+    def test_mixed_sweep(self):
+        register_algorithm(
+            _make_failing("_fail-mix", ConvergenceError("nope"))
+        )
+        config = ExperimentConfig(
+            name="mixed",
+            algorithms=["isorank", "_fail-mix"],
+            noise_levels=(0.0,),
+            repetitions=2,
+        )
+        graph = powerlaw_cluster_graph(40, 3, 0.3, seed=101)
+        table = run_experiment(config, {"pl": graph})
+        assert len(table) == 4
+        good = table.filter(algorithm="isorank")
+        bad = table.filter(algorithm="_fail-mix")
+        assert all(not r.failed for r in good.records)
+        assert all(r.failed for r in bad.records)
+        # Aggregation over the healthy algorithm is unaffected.
+        assert table.mean("accuracy", algorithm="isorank") > 0.9
+        assert np.isnan(table.mean("accuracy", algorithm="_fail-mix"))
+
+    def test_grid_renders_failed_cells_as_dashes(self):
+        register_algorithm(
+            _make_failing("_fail-grid", ConvergenceError("nope"))
+        )
+        config = ExperimentConfig(
+            name="grid",
+            algorithms=["_fail-grid"],
+            noise_levels=(0.0,),
+            repetitions=1,
+        )
+        graph = powerlaw_cluster_graph(30, 3, 0.3, seed=102)
+        table = run_experiment(config, {"pl": graph})
+        assert "--" in table.format_grid("algorithm", "noise_level",
+                                         "accuracy")

@@ -1,0 +1,211 @@
+"""Tests for the random-graph generators, cross-validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    barabasi_albert_graph,
+    complete_graph,
+    configuration_model_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    newman_watts_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+    random_regular_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.generators import as_rng, normal_degree_sequence
+
+
+def _clustering(graph):
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(graph.num_nodes))
+    nxg.add_edges_from(map(tuple, graph.edges()))
+    return nx.average_clustering(nxg)
+
+
+class TestErdosRenyi:
+    def test_edge_count_matches_expectation(self):
+        n, p = 400, 0.05
+        counts = [erdos_renyi_graph(n, p, seed=s).num_edges for s in range(5)]
+        expected = p * n * (n - 1) / 2
+        assert abs(np.mean(counts) - expected) < 0.1 * expected
+
+    def test_p_zero_and_one(self):
+        assert erdos_renyi_graph(10, 0.0, seed=0).num_edges == 0
+        assert erdos_renyi_graph(10, 1.0, seed=0).num_edges == 45
+
+    def test_invalid_p(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_reproducible(self):
+        assert erdos_renyi_graph(50, 0.1, seed=3) == erdos_renyi_graph(50, 0.1, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert erdos_renyi_graph(50, 0.1, seed=3) != erdos_renyi_graph(50, 0.1, seed=4)
+
+    def test_degree_distribution_binomial(self):
+        g = erdos_renyi_graph(1000, 0.01, seed=0)
+        mean = g.degrees.mean()
+        assert abs(mean - 9.99) < 1.5
+        # ER degree variance is close to its mean.
+        assert abs(g.degrees.var() - mean) < 0.4 * mean
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        n, m = 200, 5
+        g = barabasi_albert_graph(n, m, seed=0)
+        assert g.num_edges == (n - m) * m
+
+    def test_scale_free_tail(self):
+        g = barabasi_albert_graph(2000, 3, seed=0)
+        # Scale-free: the max degree dwarfs the mean.
+        assert g.degrees.max() > 8 * g.degrees.mean()
+
+    def test_connected(self):
+        from repro.graphs import is_connected
+        assert is_connected(barabasi_albert_graph(300, 2, seed=1))
+
+    def test_invalid_m(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(5, 0)
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(5, 5)
+
+
+class TestWattsStrogatz:
+    def test_degree_preserved_in_expectation(self):
+        g = watts_strogatz_graph(300, 10, 0.3, seed=0)
+        assert abs(g.average_degree - 10) < 0.5
+
+    def test_p_zero_is_ring_lattice(self):
+        g = watts_strogatz_graph(20, 4, 0.0, seed=0)
+        assert np.all(g.degrees == 4)
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+
+    def test_high_clustering_at_low_p(self):
+        low = _clustering(watts_strogatz_graph(300, 10, 0.05, seed=0))
+        high = _clustering(watts_strogatz_graph(300, 10, 0.9, seed=0))
+        assert low > high
+
+    def test_invalid_k(self):
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(10, 10, 0.1)
+
+
+class TestNewmanWatts:
+    def test_edges_only_added(self):
+        base = watts_strogatz_graph(100, 6, 0.0, seed=0)
+        nw = newman_watts_graph(100, 6, 0.5, seed=0)
+        # Every lattice edge must survive in the NW graph.
+        assert base.edge_set() <= nw.edge_set()
+
+    def test_minimum_degree(self):
+        g = newman_watts_graph(200, 6, 0.5, seed=1)
+        assert g.degrees.min() >= 6
+
+    def test_p_zero_is_lattice(self):
+        g = newman_watts_graph(50, 4, 0.0, seed=0)
+        assert g.num_edges == 100
+
+
+class TestPowerlawCluster:
+    def test_edge_count_close_to_ba(self):
+        n, m = 300, 4
+        g = powerlaw_cluster_graph(n, m, 0.5, seed=0)
+        assert abs(g.num_edges - (n - m) * m) <= n  # triangle steps may skip
+
+    def test_more_triangles_than_ba(self):
+        pl = powerlaw_cluster_graph(500, 4, 0.9, seed=0)
+        ba = barabasi_albert_graph(500, 4, seed=0)
+        assert _clustering(pl) > 2 * _clustering(ba)
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            powerlaw_cluster_graph(10, 0, 0.5)
+        with pytest.raises(GraphError):
+            powerlaw_cluster_graph(10, 2, 1.5)
+
+
+class TestConfigurationModel:
+    def test_degrees_approximated(self):
+        deg = np.full(500, 10)
+        g = configuration_model_graph(deg, seed=0)
+        assert abs(g.average_degree - 10) < 0.5
+
+    def test_odd_total_degree_fixed_up(self):
+        g = configuration_model_graph([3, 2, 2], seed=0)
+        assert g.num_nodes == 3  # does not crash; stub count was made even
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(GraphError):
+            configuration_model_graph([-1, 3])
+
+    def test_normal_degree_sequence(self):
+        seq = normal_degree_sequence(1000, 20, seed=0)
+        assert abs(seq.mean() - 20) < 1.0
+        assert seq.min() >= 1
+        assert seq.max() <= 999
+
+
+class TestRandomRegular:
+    def test_regularity(self):
+        g = random_regular_graph(50, 4, seed=0)
+        assert np.all(g.degrees == 4)
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(5, 3)
+
+    def test_d_too_large_rejected(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(4, 4)
+
+
+class TestDeterministicGraphs:
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+        assert np.all(g.degrees == 4)
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert np.all(g.degrees == 2)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degrees.tolist() == [1, 2, 2, 2, 1]
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 5
+        assert g.num_edges == 5
+
+
+class TestRngHandling:
+    def test_as_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_as_rng_from_int(self):
+        a = as_rng(42).random()
+        b = as_rng(42).random()
+        assert a == b
+
+    def test_shared_generator_advances(self):
+        gen = np.random.default_rng(0)
+        g1 = erdos_renyi_graph(30, 0.2, seed=gen)
+        g2 = erdos_renyi_graph(30, 0.2, seed=gen)
+        assert g1 != g2

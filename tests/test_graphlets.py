@@ -1,0 +1,137 @@
+"""Tests for graphlet orbit counting and GDV similarity."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AlgorithmError
+from repro.graphlets import ORBIT_COUNT, gdv_similarity, orbit_counts
+from repro.graphlets.similarity import gdv_signature_distance, orbit_weights
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.operations import permute_graph
+
+
+class TestClosedFormCounts:
+    def test_triangle(self):
+        counts = orbit_counts(complete_graph(3))
+        assert np.all(counts[:, 0] == 2)   # degree
+        assert np.all(counts[:, 3] == 1)   # one triangle each
+        assert np.all(counts[:, 1:3] == 0)  # no induced P3
+
+    def test_path_p4(self):
+        counts = orbit_counts(path_graph(4))
+        assert counts[:, 4].tolist() == [1, 0, 0, 1]  # P4 ends
+        assert counts[:, 5].tolist() == [0, 1, 1, 0]  # P4 middles
+
+    def test_star_claw(self):
+        counts = orbit_counts(star_graph(4))  # exactly one claw
+        assert counts[0, 7] == 1
+        assert np.all(counts[1:, 6] == 1)
+
+    def test_big_star_claw_count(self):
+        n_leaves = 6
+        counts = orbit_counts(star_graph(n_leaves + 1))
+        # Claws centered at the hub: C(6, 3) = 20.
+        assert counts[0, 7] == 20
+        # Each leaf is in C(5, 2) = 10 claws.
+        assert np.all(counts[1:, 6] == 10)
+
+    def test_cycle_c4(self):
+        counts = orbit_counts(cycle_graph(4))
+        assert np.all(counts[:, 8] == 1)
+        assert np.all(counts[:, [3, 4, 6, 7, 9, 10, 11, 12, 13, 14]] == 0)
+
+    def test_k4(self):
+        counts = orbit_counts(complete_graph(4))
+        assert np.all(counts[:, 14] == 1)
+        assert np.all(counts[:, 3] == 3)  # each node in 3 triangles
+        assert np.all(counts[:, [8, 9, 10, 11, 12, 13]] == 0)
+
+    def test_paw(self):
+        # Triangle 0-1-2 with pendant 3 attached at 2.
+        g = Graph(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        counts = orbit_counts(g)
+        assert counts[3, 9] == 1    # tail end
+        assert counts[2, 11] == 1   # attachment
+        assert counts[0, 10] == 1 and counts[1, 10] == 1
+
+    def test_diamond(self):
+        # K4 minus edge (2, 3): hubs 0, 1; rim 2, 3.
+        g = Graph(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)])
+        counts = orbit_counts(g)
+        assert counts[0, 13] == 1 and counts[1, 13] == 1
+        assert counts[2, 12] == 1 and counts[3, 12] == 1
+
+    def test_k5_totals(self):
+        counts = orbit_counts(complete_graph(5))
+        # Each node of K5: triangles C(4,2)=6, K4s C(4,3)=4.
+        assert np.all(counts[:, 3] == 6)
+        assert np.all(counts[:, 14] == 4)
+
+    def test_empty_and_edgeless(self):
+        assert orbit_counts(Graph(0)).shape == (0, ORBIT_COUNT)
+        assert np.all(orbit_counts(Graph(5)) == 0)
+
+
+class TestInvariance:
+    def test_permutation_equivariance(self):
+        g = erdos_renyi_graph(25, 0.3, seed=0)
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(25)
+        counts = orbit_counts(g)
+        counts_perm = orbit_counts(permute_graph(g, perm))
+        assert np.array_equal(counts, counts_perm[perm])
+
+    def test_orbit_sum_identities(self):
+        """Graphlet totals computed two ways must agree."""
+        g = erdos_renyi_graph(30, 0.25, seed=2)
+        counts = orbit_counts(g)
+        # Each triangle has 3 orbit-3 nodes; each K4 has 4 orbit-14 nodes.
+        assert counts[:, 3].sum() % 3 == 0
+        assert counts[:, 14].sum() % 4 == 0
+        # A paw has exactly one orbit-9, one orbit-11 and two orbit-10 nodes.
+        assert counts[:, 9].sum() == counts[:, 11].sum()
+        assert counts[:, 10].sum() == 2 * counts[:, 9].sum()
+        # A P4 has two ends and two middles; a diamond two hubs and two rims.
+        assert counts[:, 4].sum() == counts[:, 5].sum()
+        assert counts[:, 12].sum() == counts[:, 13].sum()
+        # A claw has three leaves per center.
+        assert counts[:, 6].sum() == 3 * counts[:, 7].sum()
+
+
+class TestGdvSimilarity:
+    def test_identical_signatures_similarity_one(self):
+        g = erdos_renyi_graph(20, 0.3, seed=3)
+        sig = orbit_counts(g)
+        sim = gdv_similarity(sig, sig)
+        assert np.allclose(np.diag(sim), 1.0)
+
+    def test_range(self):
+        a = orbit_counts(erdos_renyi_graph(15, 0.3, seed=4))
+        b = orbit_counts(erdos_renyi_graph(18, 0.4, seed=5))
+        dist = gdv_signature_distance(a, b)
+        assert np.all(dist >= 0.0) and np.all(dist < 1.0)
+
+    def test_symmetry(self):
+        a = orbit_counts(erdos_renyi_graph(12, 0.3, seed=6))
+        b = orbit_counts(erdos_renyi_graph(12, 0.3, seed=7))
+        assert np.allclose(gdv_signature_distance(a, b),
+                           gdv_signature_distance(b, a).T)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(AlgorithmError):
+            gdv_signature_distance(np.zeros((2, 15)), np.zeros((2, 10)))
+
+    def test_weights(self):
+        weights = orbit_weights()
+        assert weights.shape == (ORBIT_COUNT,)
+        assert weights[0] == pytest.approx(1.0)  # orbit 0 depends only on itself
+        assert np.all(weights > 0)
+        # More redundant orbits weigh less.
+        assert weights[14] < weights[3] < weights[0]

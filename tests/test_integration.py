@@ -1,0 +1,111 @@
+"""Integration tests: miniature versions of the paper's experiments.
+
+These exercise the full stack — datasets/generators -> noise -> algorithm
+-> assignment -> measures -> result table — the way the benches do, but at
+sizes small enough for the unit-test budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.datasets import load_dataset, temporal_pair
+from repro.graphs import erdos_renyi_graph, powerlaw_cluster_graph
+from repro.harness import ExperimentConfig, ResultTable, run_experiment
+from repro.measures import evaluate_all
+from repro.noise import make_pair
+
+
+class TestMiniFigure2:
+    """A 2-algorithm, 2-level slice of the ER experiment (Fig. 2)."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        graph = erdos_renyi_graph(90, 0.11, seed=71)
+        config = ExperimentConfig(
+            name="mini-er",
+            algorithms=["isorank", "lrea"],
+            noise_types=("one-way",),
+            noise_levels=(0.0, 0.05),
+            repetitions=2,
+            measures=("accuracy", "s3", "mnc"),
+            seed=0,
+        )
+        return run_experiment(config, {"er": graph})
+
+    def test_record_count(self, table):
+        assert len(table) == 8
+
+    def test_lrea_signature_behavior(self, table):
+        """LREA: perfect on isomorphic, collapsing under noise (the paper's
+        most distinctive single-algorithm claim)."""
+        clean = table.mean("accuracy", algorithm="lrea", noise_level=0.0)
+        noisy = table.mean("accuracy", algorithm="lrea", noise_level=0.05)
+        assert clean > 0.9
+        assert noisy < clean - 0.3
+
+    def test_all_measures_recorded(self, table):
+        for record in table.successful():
+            assert set(record.measures) == {"accuracy", "s3", "mnc"}
+
+    def test_zero_noise_s3_is_one_for_perfect_mapping(self, table):
+        perfect = [r for r in table.successful().records
+                   if r.noise_level == 0.0 and r.measures["accuracy"] == 1.0]
+        for record in perfect:
+            assert record.measures["s3"] == pytest.approx(1.0)
+
+
+class TestMiniFigure7:
+    """Dataset stand-in + noise sweep, like the real-graph experiments."""
+
+    def test_arenas_standin_sweep(self):
+        graph = load_dataset("arenas", scale=0.08, seed=0)
+        config = ExperimentConfig(
+            name="mini-arenas",
+            algorithms=["nsd", "regal"],
+            noise_types=("one-way", "multimodal"),
+            noise_levels=(0.0, 0.03),
+            repetitions=1,
+            seed=1,
+        )
+        table = run_experiment(config, {"arenas": graph})
+        assert len(table) == 8
+        # Multimodal is at least as hard as one-way at the same level.
+        for algo in ("nsd", "regal"):
+            ow = table.mean("accuracy", algorithm=algo,
+                            noise_type="one-way", noise_level=0.03)
+            mm = table.mean("accuracy", algorithm=algo,
+                            noise_type="multimodal", noise_level=0.03)
+            assert mm <= ow + 0.25
+
+
+class TestMiniFigure10:
+    """Temporal (real-noise) instance through a full algorithm run."""
+
+    def test_voles_temporal_alignment(self):
+        pair = temporal_pair("voles", 0.95, scale=0.3, seed=2)
+        result = get_algorithm("isorank").align(pair.source, pair.target,
+                                                seed=0)
+        scores = evaluate_all(pair.source, pair.target, result.mapping,
+                              pair.ground_truth)
+        assert scores["accuracy"] > 0.2
+        assert 0.0 <= scores["s3"] <= 1.0
+
+
+class TestAssignmentInvariance:
+    """§6.2's structural fact: JV >= SortGreedy in total similarity for
+    every algorithm's similarity matrix."""
+
+    @pytest.mark.parametrize("method", ["isorank", "nsd", "regal", "grasp"])
+    def test_jv_total_similarity_dominates_sg(self, method):
+        graph = powerlaw_cluster_graph(70, 3, 0.3, seed=73)
+        pair = make_pair(graph, "one-way", 0.02, seed=74)
+        sim = get_algorithm(method).similarity(pair.source, pair.target,
+                                               seed=0)
+        sim = sim.toarray() if hasattr(sim, "toarray") else np.asarray(sim)
+        from repro.assignment import jonker_volgenant, sort_greedy
+        jv = jonker_volgenant(sim)
+        sg = sort_greedy(sim)
+        n = sim.shape[0]
+        value = lambda m: sim[np.arange(n)[m >= 0], m[m >= 0]].sum()
+        assert value(jv) >= value(sg) - 1e-9

@@ -1,0 +1,71 @@
+"""Tests for edge-list I/O."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graphs import Graph, erdos_renyi_graph, read_edgelist, write_edgelist
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path, karate_like):
+        path = tmp_path / "g.txt"
+        write_edgelist(karate_like, path)
+        loaded = read_edgelist(path, relabel=False)
+        assert loaded == karate_like
+
+    def test_header_written_and_skipped(self, tmp_path):
+        g = Graph(3, [(0, 1), (1, 2)])
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path, header="test graph\nline two")
+        text = path.read_text()
+        assert text.startswith("# test graph")
+        assert read_edgelist(path, relabel=False) == g
+
+
+class TestReading:
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n% other comment\n0 1\n1 2\n")
+        g = read_edgelist(path, relabel=False)
+        assert g.num_edges == 2
+
+    def test_relabeling_compacts_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("10 20\n20 35\n")
+        g, mapping = read_edgelist(path, return_mapping=True)
+        assert g.num_nodes == 3
+        assert mapping == {10: 0, 20: 1, 35: 2}
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_trailing_columns_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.5 123456\n1 2 0.7 123457\n")
+        assert read_edgelist(path, relabel=False).num_edges == 2
+
+    def test_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n0 1\n")
+        assert read_edgelist(path, relabel=False).num_edges == 1
+
+    def test_duplicate_edges_merged(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n0 1\n")
+        assert read_edgelist(path, relabel=False).num_edges == 1
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(DatasetError):
+            read_edgelist(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(DatasetError):
+            read_edgelist(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nothing\n")
+        g = read_edgelist(path)
+        assert g.num_nodes == 0

@@ -1,0 +1,110 @@
+"""Tests for k-core decomposition and path utilities."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+    star_graph,
+)
+from repro.graphs.kcore import (
+    all_pairs_hop_distance,
+    average_shortest_path_length,
+    core_numbers,
+    k_core,
+)
+
+
+def _to_nx(graph):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_nodes))
+    g.add_edges_from(map(tuple, graph.edges()))
+    return g
+
+
+class TestCoreNumbers:
+    def test_complete_graph(self):
+        assert np.all(core_numbers(complete_graph(6)) == 5)
+
+    def test_star(self):
+        cores = core_numbers(star_graph(8))
+        assert np.all(cores == 1)
+
+    def test_path(self):
+        assert np.all(core_numbers(path_graph(5)) == 1)
+
+    def test_cycle(self):
+        assert np.all(core_numbers(cycle_graph(7)) == 2)
+
+    def test_isolated_nodes_zero(self):
+        g = Graph(4, [(0, 1)])
+        cores = core_numbers(g)
+        assert cores[2] == 0 and cores[3] == 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_networkx(self, seed):
+        g = erdos_renyi_graph(60, 0.12, seed=seed)
+        ours = core_numbers(g)
+        theirs = nx.core_number(_to_nx(g))
+        for node in range(60):
+            assert ours[node] == theirs[node], node
+
+    def test_powerlaw_matches_networkx(self):
+        g = powerlaw_cluster_graph(120, 4, 0.5, seed=5)
+        ours = core_numbers(g)
+        theirs = nx.core_number(_to_nx(g))
+        assert all(ours[v] == theirs[v] for v in range(120))
+
+
+class TestKCore:
+    def test_subgraph_min_degree(self):
+        g = powerlaw_cluster_graph(100, 3, 0.3, seed=6)
+        sub, nodes = k_core(g, 3)
+        if sub.num_nodes:
+            assert sub.degrees.min() >= 3
+
+    def test_k_zero_returns_everything(self):
+        g = Graph(5, [(0, 1)])
+        sub, nodes = k_core(g, 0)
+        assert sub.num_nodes == 5
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(GraphError):
+            k_core(cycle_graph(4), -1)
+
+    def test_matches_networkx_node_set(self):
+        g = erdos_renyi_graph(80, 0.1, seed=7)
+        _sub, nodes = k_core(g, 3)
+        theirs = set(nx.k_core(_to_nx(g), 3).nodes)
+        assert set(nodes.tolist()) == theirs
+
+
+class TestPaths:
+    def test_hop_matrix_path_graph(self):
+        dist = all_pairs_hop_distance(path_graph(4))
+        assert dist[0].tolist() == [0, 1, 2, 3]
+        assert np.array_equal(dist, dist.T)
+
+    def test_unreachable_marked(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        dist = all_pairs_hop_distance(g)
+        assert dist[0, 2] == -1
+
+    def test_average_length_matches_networkx(self):
+        g = erdos_renyi_graph(50, 0.15, seed=8)
+        from repro.graphs import is_connected
+        if is_connected(g):
+            ours = average_shortest_path_length(g)
+            theirs = nx.average_shortest_path_length(_to_nx(g))
+            assert ours == pytest.approx(theirs)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            average_shortest_path_length(Graph(1))

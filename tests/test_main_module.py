@@ -1,0 +1,23 @@
+"""End-to-end test of the ``python -m repro`` entry point."""
+
+import subprocess
+import sys
+
+
+class TestMainModule:
+    def test_algorithms_subcommand(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "algorithms"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "isorank" in proc.stdout
+        assert "grasp" in proc.stdout
+
+    def test_no_command_exits_nonzero(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode != 0
+        assert "command" in proc.stderr

@@ -1,0 +1,100 @@
+"""Tests for the matrix views (Laplacian, normalizations, heat kernel)."""
+
+import numpy as np
+import pytest
+from scipy.sparse import csgraph
+
+from repro.graphs import (
+    Graph,
+    adjacency_matrix,
+    cycle_graph,
+    degree_matrix,
+    erdos_renyi_graph,
+    heat_kernel,
+    normalized_adjacency,
+    normalized_laplacian,
+    row_stochastic,
+)
+from repro.graphs.matrices import column_stochastic, heat_kernel_diagonal
+
+
+class TestBasicMatrices:
+    def test_adjacency(self, triangle):
+        adj = adjacency_matrix(triangle, dense=True)
+        assert adj.sum() == 6
+        assert np.array_equal(adj, adj.T)
+
+    def test_degree_matrix(self, triangle):
+        deg = degree_matrix(triangle, dense=True)
+        assert np.array_equal(np.diag(deg), [2, 2, 2])
+
+    def test_row_stochastic_rows_sum_to_one(self, karate_like):
+        mat = row_stochastic(karate_like, dense=True)
+        sums = mat.sum(axis=1)
+        nonzero = karate_like.degrees > 0
+        assert np.allclose(sums[nonzero], 1.0)
+
+    def test_column_stochastic_cols_sum_to_one(self, karate_like):
+        mat = column_stochastic(karate_like, dense=True)
+        sums = mat.sum(axis=0)
+        nonzero = karate_like.degrees > 0
+        assert np.allclose(sums[nonzero], 1.0)
+
+    def test_isolated_node_rows_zero(self):
+        g = Graph(3, [(0, 1)])
+        assert row_stochastic(g, dense=True)[2].sum() == 0.0
+
+
+class TestNormalizedLaplacian:
+    def test_matches_scipy(self, karate_like):
+        ours = normalized_laplacian(karate_like, dense=True)
+        theirs = csgraph.laplacian(
+            karate_like.adjacency(dense=True), normed=True
+        )
+        assert np.allclose(ours, theirs)
+
+    def test_eigenvalue_range(self, karate_like):
+        lap = normalized_laplacian(karate_like, dense=True)
+        vals = np.linalg.eigvalsh(lap)
+        assert vals.min() > -1e-10
+        assert vals.max() < 2.0 + 1e-10
+
+    def test_zero_eigenvalue_per_component(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        lap = normalized_laplacian(g, dense=True)
+        vals = np.linalg.eigvalsh(lap)
+        assert np.sum(np.abs(vals) < 1e-10) == 2
+
+    def test_normalized_adjacency_relation(self, karate_like):
+        lap = normalized_laplacian(karate_like, dense=True)
+        norm_adj = normalized_adjacency(karate_like, dense=True)
+        ident = np.diag((karate_like.degrees > 0).astype(float))
+        assert np.allclose(lap, ident - norm_adj)
+
+
+class TestHeatKernel:
+    def test_t_zero_is_projection(self, small_cycle):
+        lap = normalized_laplacian(small_cycle, dense=True)
+        vals, vecs = np.linalg.eigh(lap)
+        kernel = heat_kernel(vals, vecs, t=0.0)
+        assert np.allclose(kernel, vecs @ vecs.T)
+
+    def test_matches_expm(self, triangle):
+        from scipy.linalg import expm
+        lap = normalized_laplacian(triangle, dense=True)
+        vals, vecs = np.linalg.eigh(lap)
+        t = 0.7
+        assert np.allclose(heat_kernel(vals, vecs, t), expm(-t * lap))
+
+    def test_diagonal_helper(self, small_cycle):
+        lap = normalized_laplacian(small_cycle, dense=True)
+        vals, vecs = np.linalg.eigh(lap)
+        t = 1.3
+        full = heat_kernel(vals, vecs, t)
+        assert np.allclose(heat_kernel_diagonal(vals, vecs, t), np.diag(full))
+
+    def test_trace_decreases_with_t(self, karate_like):
+        lap = normalized_laplacian(karate_like, dense=True)
+        vals, vecs = np.linalg.eigh(lap)
+        traces = [np.trace(heat_kernel(vals, vecs, t)) for t in (0.1, 1.0, 10.0)]
+        assert traces[0] > traces[1] > traces[2]

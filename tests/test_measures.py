@@ -1,0 +1,166 @@
+"""Tests for the quality measures (paper §5.2), with hand-computed cases."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.graphs import Graph, cycle_graph, path_graph
+from repro.measures import (
+    accuracy,
+    edge_correctness,
+    evaluate_all,
+    induced_conserved_structure,
+    matched_neighborhood_consistency,
+    symmetric_substructure_score,
+)
+from repro.noise import make_pair
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        truth = np.array([2, 0, 1])
+        assert accuracy(truth, truth) == 1.0
+
+    def test_partial(self):
+        assert accuracy([0, 1, 2, 3], [0, 1, 3, 2]) == 0.5
+
+    def test_unmatched_counts_as_wrong(self):
+        assert accuracy([-1, 1], [0, 1]) == 0.5
+
+    def test_unmatched_never_matches_negative_truth(self):
+        # Even if truth contained -1 (it should not), -1 == -1 is not correct.
+        assert accuracy([-1], [-1]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            accuracy([0, 1], [0, 1, 2])
+
+    def test_empty(self):
+        assert accuracy([], []) == 0.0
+
+
+class TestEdgeCorrectness:
+    def test_identity_on_same_graph(self, small_cycle):
+        mapping = np.arange(6)
+        assert edge_correctness(small_cycle, small_cycle, mapping) == 1.0
+
+    def test_hand_computed(self):
+        # Source P3: 0-1-2; target only has edge (0, 1).
+        source = path_graph(3)
+        target = Graph(3, [(0, 1)])
+        mapping = np.array([0, 1, 2])
+        # f(E_A) ∩ E_B = {(0,1)}; |E_A| = 2.
+        assert edge_correctness(source, target, mapping) == pytest.approx(0.5)
+
+    def test_unmatched_endpoint_not_conserved(self):
+        source = path_graph(3)
+        target = path_graph(3)
+        mapping = np.array([0, 1, -1])
+        assert edge_correctness(source, target, mapping) == pytest.approx(0.5)
+
+    def test_empty_source_edges(self):
+        source = Graph(3)
+        target = path_graph(3)
+        assert edge_correctness(source, target, np.arange(3)) == 0.0
+
+    def test_bad_mapping_rejected(self, small_cycle):
+        with pytest.raises(ReproError):
+            edge_correctness(small_cycle, small_cycle, [0, 1])
+        with pytest.raises(ReproError):
+            edge_correctness(small_cycle, small_cycle, [9] * 6)
+
+
+class TestIcsAndS3:
+    def test_ics_penalizes_dense_target_region(self):
+        # Source: single edge; mapped into a target triangle.
+        source = Graph(3, [(0, 1)])
+        target = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        mapping = np.array([0, 1, 2])
+        # Aligned edges = 1; induced target edges on {0,1,2} = 3.
+        assert induced_conserved_structure(source, target, mapping) == pytest.approx(1 / 3)
+        # EC would be a perfect 1.0 here - the flaw ICS corrects.
+        assert edge_correctness(source, target, mapping) == 1.0
+
+    def test_s3_hand_computed(self):
+        source = Graph(3, [(0, 1), (1, 2)])
+        target = Graph(3, [(0, 1), (0, 2)])
+        mapping = np.array([0, 1, 2])
+        # f(E_A) ∩ E_B = {(0,1)}: aligned = 1; induced = 2; |E_A| = 2.
+        # S3 = 1 / (2 + 2 - 1) = 1/3.
+        assert symmetric_substructure_score(source, target, mapping) == pytest.approx(1 / 3)
+
+    def test_s3_equals_one_iff_perfect(self, small_cycle):
+        assert symmetric_substructure_score(
+            small_cycle, small_cycle, np.arange(6)
+        ) == 1.0
+
+    def test_ics_empty_induced(self):
+        source = path_graph(2)
+        target = Graph(3, [(1, 2)])
+        mapping = np.array([0, 0])  # degenerate many-to-one image {0}
+        assert induced_conserved_structure(source, target, mapping) == 0.0
+
+
+class TestMnc:
+    def test_perfect_alignment(self, small_cycle):
+        assert matched_neighborhood_consistency(
+            small_cycle, small_cycle, np.arange(6)
+        ) == 1.0
+
+    def test_hand_computed(self):
+        # Source: star center 0 with leaves 1, 2. Target: path 0-1, 1-2.
+        source = Graph(3, [(0, 1), (0, 2)])
+        target = path_graph(3)
+        mapping = np.array([1, 0, 2])
+        # Node 0 -> 1: mapped N(0) = {f(1), f(2)} = {0, 2}; N_B(1) = {0, 2}: J = 1.
+        # Node 1 -> 0: mapped N(1) = {f(0)} = {1}; N_B(0) = {1}: J = 1.
+        # Node 2 -> 2: mapped N(2) = {f(0)} = {1}; N_B(2) = {1}: J = 1.
+        assert matched_neighborhood_consistency(source, target, mapping) == 1.0
+
+    def test_disjoint_neighborhoods(self):
+        source = Graph(4, [(0, 1)])
+        target = Graph(4, [(0, 2)])
+        mapping = np.array([0, 1, 2, 3])
+        # Node 0: mapped N = {1}, actual N = {2}: J = 0.
+        # Node 1: mapped N = {0}, actual N = {} : J = 0.
+        # Nodes 2, 3: both neighborhoods empty -> convention 1.0... node 2's
+        # actual N_B(2) = {0}, so J = 0; node 3 both empty -> 1.
+        value = matched_neighborhood_consistency(source, target, mapping)
+        assert value == pytest.approx(1 / 4)
+
+    def test_unmatched_scores_zero(self):
+        source = path_graph(2)
+        target = path_graph(2)
+        assert matched_neighborhood_consistency(
+            source, target, np.array([-1, -1])
+        ) == 0.0
+
+
+class TestEvaluateAll:
+    def test_keys(self, noisy_pair):
+        mapping = noisy_pair.ground_truth
+        out = evaluate_all(noisy_pair.source, noisy_pair.target, mapping,
+                           noisy_pair.ground_truth)
+        assert set(out) == {"accuracy", "mnc", "ec", "ics", "s3"}
+        assert out["accuracy"] == 1.0
+
+    def test_without_truth(self, noisy_pair):
+        out = evaluate_all(noisy_pair.source, noisy_pair.target,
+                           noisy_pair.ground_truth)
+        assert "accuracy" not in out
+
+    def test_all_measures_in_unit_interval(self, noisy_pair):
+        rng = np.random.default_rng(0)
+        n = noisy_pair.source.num_nodes
+        random_mapping = rng.permutation(n)
+        out = evaluate_all(noisy_pair.source, noisy_pair.target,
+                           random_mapping, noisy_pair.ground_truth)
+        for key, value in out.items():
+            assert 0.0 <= value <= 1.0, key
+
+    def test_truth_mapping_scores_high_under_noise(self, pl_graph):
+        pair = make_pair(pl_graph, "one-way", 0.05, seed=0)
+        out = evaluate_all(pair.source, pair.target, pair.ground_truth,
+                           pair.ground_truth)
+        assert out["accuracy"] == 1.0
+        assert out["ec"] == pytest.approx(0.95, abs=0.02)

@@ -1,0 +1,101 @@
+"""Tests for multiple-network alignment."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import align_multiple
+from repro.exceptions import AlgorithmError
+from repro.graphs import powerlaw_cluster_graph
+from repro.graphs.operations import permute_graph
+from repro.measures import accuracy
+from repro.noise import make_pair
+
+
+@pytest.fixture(scope="module")
+def three_views():
+    """Three isomorphic views of one graph with known correspondences."""
+    base = powerlaw_cluster_graph(60, 3, 0.3, seed=51)
+    rng = np.random.default_rng(52)
+    perms = [np.arange(60), rng.permutation(60), rng.permutation(60)]
+    graphs = [permute_graph(base, perm) for perm in perms]
+    return graphs, perms
+
+
+def _truth(perms, i, j):
+    """True mapping from view i to view j: perm_j ∘ perm_i^{-1}."""
+    inv_i = np.argsort(perms[i])
+    return perms[j][inv_i]
+
+
+class TestStar:
+    def test_pairwise_accuracy(self, three_views):
+        graphs, perms = three_views
+        joint = align_multiple(graphs, method="isorank", strategy="star",
+                               seed=0)
+        for i in range(3):
+            for j in range(3):
+                acc = accuracy(joint.pairwise(i, j), _truth(perms, i, j))
+                assert acc > 0.8, (i, j, acc)
+
+    def test_identity_pairwise(self, three_views):
+        graphs, _perms = three_views
+        joint = align_multiple(graphs, method="isorank", seed=0)
+        assert np.array_equal(joint.pairwise(1, 1), np.arange(60))
+
+    def test_cycle_consistency_high(self, three_views):
+        graphs, _perms = three_views
+        joint = align_multiple(graphs, method="isorank", seed=0)
+        assert joint.cycle_consistency(1, 2) > 0.8
+
+    def test_reference_choice(self, three_views):
+        graphs, perms = three_views
+        joint = align_multiple(graphs, method="isorank", reference=2, seed=0)
+        assert joint.reference == 2
+        acc = accuracy(joint.pairwise(0, 1), _truth(perms, 0, 1))
+        assert acc > 0.8
+
+
+class TestChain:
+    def test_temporal_chain(self):
+        """Chain strategy on a sequence of progressively noisier snapshots."""
+        base = powerlaw_cluster_graph(60, 3, 0.3, seed=53)
+        pair1 = make_pair(base, "one-way", 0.01, seed=54)
+        pair2 = make_pair(pair1.target, "one-way", 0.01, seed=55)
+        graphs = [base, pair1.target, pair2.target]
+        joint = align_multiple(graphs, method="isorank", strategy="chain",
+                               seed=0)
+        # Mapping snapshot 2 back to snapshot 0 composes the two truths.
+        truth_2_to_0 = np.argsort(pair1.ground_truth)[
+            np.argsort(pair2.ground_truth)
+        ]
+        acc = accuracy(joint.pairwise(2, 0), truth_2_to_0)
+        assert acc > 0.6
+
+    def test_chain_forces_reference_zero(self, three_views):
+        graphs, _perms = three_views
+        joint = align_multiple(graphs, strategy="chain", method="isorank",
+                               seed=0)
+        assert joint.reference == 0
+
+
+class TestValidation:
+    def test_needs_two_graphs(self, three_views):
+        graphs, _ = three_views
+        with pytest.raises(AlgorithmError):
+            align_multiple(graphs[:1])
+
+    def test_unknown_strategy(self, three_views):
+        graphs, _ = three_views
+        with pytest.raises(AlgorithmError):
+            align_multiple(graphs, strategy="clique")
+
+    def test_reference_out_of_range(self, three_views):
+        graphs, _ = three_views
+        with pytest.raises(AlgorithmError):
+            align_multiple(graphs, reference=7)
+
+    def test_pairwise_index_validated(self, three_views):
+        graphs, _ = three_views
+        joint = align_multiple(graphs, method="nsd", seed=0)
+        with pytest.raises(AlgorithmError):
+            joint.pairwise(0, 9)

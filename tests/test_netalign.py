@@ -1,0 +1,64 @@
+"""Tests for NetAlign (the §4 excluded algorithm)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.algorithms import list_algorithms
+from repro.algorithms.netalign import NetAlign
+from repro.exceptions import AlgorithmError
+from repro.graphs import powerlaw_cluster_graph
+from repro.measures import accuracy
+from repro.noise import make_pair
+
+GRAPH = powerlaw_cluster_graph(70, 3, 0.3, seed=97)
+PAIR = make_pair(GRAPH, "one-way", 0.0, seed=98)
+
+
+class TestNetAlign:
+    def test_not_in_benchmark_registry(self):
+        """The paper excludes NetAlign from the evaluated nine."""
+        assert "netalign" not in list_algorithms()
+
+    def test_similarity_sparse(self):
+        sim = NetAlign(candidates_per_node=5).similarity(
+            PAIR.source, PAIR.target, seed=0
+        )
+        assert sparse.issparse(sim)
+        assert sim.getnnz(axis=1).max() <= 5
+
+    def test_alignment_runs_and_is_one_to_one(self):
+        result = NetAlign().align(PAIR.source, PAIR.target,
+                                  assignment="mwm", seed=0)
+        matched = result.mapping[result.mapping >= 0]
+        assert len(set(matched.tolist())) == len(matched)
+
+    def test_inadequate_vs_isorank(self):
+        """Reproduce the exclusion rationale: NetAlign trails IsoRank even
+        with the degree-prior enhancement and a fair assignment step."""
+        from repro.algorithms import get_algorithm
+        na = NetAlign().align(PAIR.source, PAIR.target, assignment="mwm",
+                              seed=0)
+        iso = get_algorithm("isorank").align(PAIR.source, PAIR.target,
+                                             seed=0)
+        assert accuracy(na.mapping, PAIR.ground_truth) < accuracy(
+            iso.mapping, PAIR.ground_truth
+        )
+
+    def test_objective_counts_overlap(self):
+        algo = NetAlign(alpha=0.0, beta=1.0)
+        value = algo.objective(PAIR.source, PAIR.target, PAIR.ground_truth)
+        # With alpha=0 the objective is exactly the conserved-edge count.
+        assert value == PAIR.target.num_edges  # zero noise: all conserved
+
+    def test_beta_zero_reduces_to_prior_matching(self):
+        algo = NetAlign(alpha=1.0, beta=0.0, iterations=5)
+        result = algo.align(PAIR.source, PAIR.target, assignment="mwm",
+                            seed=0)
+        assert result.mapping.shape == (70,)
+
+    def test_validation(self):
+        with pytest.raises(AlgorithmError):
+            NetAlign(alpha=-1.0)
+        with pytest.raises(AlgorithmError):
+            NetAlign(damping=1.0)

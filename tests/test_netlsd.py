@@ -1,0 +1,73 @@
+"""Tests for NetLSD heat-trace signatures."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AlgorithmError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+)
+from repro.graphs.operations import permute_graph
+from repro.noise import make_pair
+from repro.spectral.netlsd import (
+    default_timescales,
+    netlsd_distance,
+    netlsd_signature,
+)
+
+
+class TestSignature:
+    def test_shape_and_default_times(self):
+        sig = netlsd_signature(cycle_graph(10))
+        assert sig.shape == default_timescales().shape
+
+    def test_permutation_invariance(self):
+        g = erdos_renyi_graph(40, 0.2, seed=0)
+        h = permute_graph(g, np.random.default_rng(1).permutation(40))
+        assert np.allclose(netlsd_signature(g), netlsd_signature(h))
+
+    def test_trace_at_zero_equals_n(self):
+        g = erdos_renyi_graph(25, 0.3, seed=2)
+        sig = netlsd_signature(g, times=[0.0], normalization="none")
+        assert sig[0] == pytest.approx(25.0)
+
+    def test_monotone_decreasing_in_t(self):
+        sig = netlsd_signature(cycle_graph(12), times=[0.1, 1.0, 10.0],
+                               normalization="none")
+        assert sig[0] > sig[1] > sig[2]
+
+    def test_complete_normalization_is_one_on_kn(self):
+        sig = netlsd_signature(complete_graph(9), normalization="complete")
+        assert np.allclose(sig, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(AlgorithmError):
+            netlsd_signature(Graph(0))
+        with pytest.raises(AlgorithmError):
+            netlsd_signature(cycle_graph(5), normalization="weird")
+
+
+class TestDistance:
+    def test_zero_for_isomorphic(self):
+        g = erdos_renyi_graph(30, 0.2, seed=3)
+        h = permute_graph(g, np.random.default_rng(4).permutation(30))
+        assert netlsd_distance(g, h) == pytest.approx(0.0, abs=1e-9)
+
+    def test_noise_moves_signature_smoothly(self):
+        """Small noise -> small distance; more noise -> larger (stability,
+        the property GRASP inherits)."""
+        g = powerlaw_cluster_graph(80, 3, 0.3, seed=5)
+        small = make_pair(g, "one-way", 0.02, seed=6).target
+        large = make_pair(g, "one-way", 0.2, seed=6).target
+        assert netlsd_distance(g, small) < netlsd_distance(g, large)
+
+    def test_separates_graph_families(self):
+        er = erdos_renyi_graph(60, 10 / 60, seed=7)
+        pl = powerlaw_cluster_graph(60, 5, 0.5, seed=7)
+        er2 = erdos_renyi_graph(60, 10 / 60, seed=8)
+        # Two ER draws are closer to each other than to a powerlaw graph.
+        assert netlsd_distance(er, er2) < netlsd_distance(er, pl)

@@ -1,0 +1,157 @@
+"""Tests for the noise models and GraphPair construction (paper §5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoiseError
+from repro.graphs import Graph, cycle_graph, erdos_renyi_graph, is_connected, path_graph
+from repro.noise import (
+    GraphPair,
+    add_random_edges,
+    make_noisy_copies,
+    make_pair,
+    remove_random_edges,
+)
+
+
+class TestRemoveRandomEdges:
+    def test_count_removed(self, karate_like):
+        h = remove_random_edges(karate_like, 5, seed=0)
+        assert h.num_edges == karate_like.num_edges - 5
+        assert h.edge_set() <= karate_like.edge_set()
+
+    def test_zero_is_identity(self, karate_like):
+        assert remove_random_edges(karate_like, 0) == karate_like
+
+    def test_too_many_rejected(self):
+        with pytest.raises(NoiseError):
+            remove_random_edges(path_graph(3), 5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(NoiseError):
+            remove_random_edges(path_graph(3), -1)
+
+    def test_preserve_connectivity(self):
+        g = cycle_graph(10)
+        # A cycle has no bridges until one edge is gone; removing 1 keeps it
+        # connected, removing 2 with preservation is impossible.
+        h = remove_random_edges(g, 1, seed=0, preserve_connectivity=True)
+        assert is_connected(h)
+        with pytest.raises(NoiseError):
+            remove_random_edges(g, 2, seed=0, preserve_connectivity=True)
+
+    def test_preserve_connectivity_dense(self, karate_like):
+        count = karate_like.num_edges // 5
+        h = remove_random_edges(karate_like, count, seed=1,
+                                preserve_connectivity=True)
+        assert is_connected(h)
+        assert h.num_edges == karate_like.num_edges - count
+
+
+class TestAddRandomEdges:
+    def test_count_added(self, karate_like):
+        h = add_random_edges(karate_like, 7, seed=0)
+        assert h.num_edges == karate_like.num_edges + 7
+        assert karate_like.edge_set() <= h.edge_set()
+
+    def test_zero_is_identity(self, karate_like):
+        assert add_random_edges(karate_like, 0) == karate_like
+
+    def test_capacity_exceeded_rejected(self):
+        g = path_graph(3)  # capacity 3 - 2 = 1 free slot
+        with pytest.raises(NoiseError):
+            add_random_edges(g, 2)
+
+    def test_fill_to_complete(self):
+        g = path_graph(4)
+        h = add_random_edges(g, 3, seed=0)  # 6 total = complete K4
+        assert h.num_edges == 6
+
+    def test_no_self_loops_or_duplicates(self, karate_like):
+        h = add_random_edges(karate_like, 20, seed=3)
+        edges = h.edges()
+        assert np.all(edges[:, 0] != edges[:, 1])
+        assert len(h.edge_set()) == h.num_edges
+
+
+class TestMakePair:
+    def test_one_way(self, pl_graph):
+        pair = make_pair(pl_graph, "one-way", 0.05, seed=0)
+        removed = int(round(0.05 * pl_graph.num_edges))
+        assert pair.source == pl_graph
+        assert pair.target.num_edges == pl_graph.num_edges - removed
+
+    def test_multimodal_preserves_edge_count(self, pl_graph):
+        pair = make_pair(pl_graph, "multimodal", 0.05, seed=0)
+        assert pair.target.num_edges == pl_graph.num_edges
+
+    def test_two_way_perturbs_both(self, pl_graph):
+        pair = make_pair(pl_graph, "two-way", 0.05, seed=0)
+        removed = int(round(0.05 * pl_graph.num_edges))
+        assert pair.source.num_edges == pl_graph.num_edges - removed
+        assert pair.target.num_edges == pl_graph.num_edges - removed
+        assert pair.source != pl_graph
+
+    def test_ground_truth_is_isomorphism_at_zero_noise(self, pl_graph):
+        pair = make_pair(pl_graph, "one-way", 0.0, seed=0)
+        truth = pair.ground_truth
+        for u, v in pair.source.edges()[:20]:
+            assert pair.target.has_edge(int(truth[u]), int(truth[v]))
+
+    def test_no_permutation_option(self, pl_graph):
+        pair = make_pair(pl_graph, "one-way", 0.02, seed=0, permute=False)
+        assert np.array_equal(pair.ground_truth, np.arange(pl_graph.num_nodes))
+
+    def test_unknown_noise_type_rejected(self, pl_graph):
+        with pytest.raises(NoiseError):
+            make_pair(pl_graph, "bogus", 0.01)
+
+    def test_invalid_level_rejected(self, pl_graph):
+        with pytest.raises(NoiseError):
+            make_pair(pl_graph, "one-way", 1.0)
+        with pytest.raises(NoiseError):
+            make_pair(pl_graph, "one-way", -0.1)
+
+    def test_provenance_recorded(self, pl_graph):
+        pair = make_pair(pl_graph, "multimodal", 0.03, seed=0)
+        assert pair.noise_type == "multimodal"
+        assert pair.noise_level == pytest.approx(0.03)
+
+    def test_reproducible(self, pl_graph):
+        a = make_pair(pl_graph, "one-way", 0.02, seed=5)
+        b = make_pair(pl_graph, "one-way", 0.02, seed=5)
+        assert a.target == b.target
+        assert np.array_equal(a.ground_truth, b.ground_truth)
+
+
+class TestGraphPair:
+    def test_truth_shape_validated(self):
+        g = path_graph(3)
+        with pytest.raises(NoiseError):
+            GraphPair(g, g, np.array([0, 1]))
+
+    def test_truth_range_validated(self):
+        g = path_graph(3)
+        with pytest.raises(NoiseError):
+            GraphPair(g, g, np.array([0, 1, 5]))
+
+    def test_inverse_truth(self, noisy_pair):
+        inv = noisy_pair.inverse_truth
+        truth = noisy_pair.ground_truth
+        assert np.array_equal(inv[truth], np.arange(truth.size))
+
+    def test_swap(self, noisy_pair):
+        swapped = noisy_pair.swap()
+        assert swapped.source == noisy_pair.target
+        assert swapped.target == noisy_pair.source
+        # Swapping twice gives back the original truth.
+        assert np.array_equal(swapped.swap().ground_truth,
+                              noisy_pair.ground_truth)
+
+
+class TestNoisyCopies:
+    def test_copies_independent(self, pl_graph):
+        copies = make_noisy_copies(pl_graph, "one-way", 0.05, 3, seed=0)
+        assert len(copies) == 3
+        targets = {c.target for c in copies}
+        assert len(targets) == 3

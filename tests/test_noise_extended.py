@@ -1,0 +1,123 @@
+"""Tests for the literature's extra noise models (§5.1.1 survey)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoiseError
+from repro.graphs import powerlaw_cluster_graph
+from repro.measures import accuracy
+from repro.noise import (
+    distance_noise_pair,
+    node_removal_pair,
+    poisson_edge_pair,
+)
+
+BASE = powerlaw_cluster_graph(100, 4, 0.3, seed=91)
+
+
+class TestNodeRemoval:
+    def test_target_shrinks(self):
+        pair = node_removal_pair(BASE, 0.1, seed=0)
+        assert pair.target.num_nodes == 90
+        assert pair.noise_type == "node-removal"
+
+    def test_partial_truth(self):
+        pair = node_removal_pair(BASE, 0.1, seed=0)
+        assert np.sum(pair.ground_truth == -1) == 10
+        matched = pair.ground_truth[pair.ground_truth >= 0]
+        assert len(set(matched.tolist())) == 90  # bijective on survivors
+
+    def test_truth_preserves_surviving_edges(self):
+        pair = node_removal_pair(BASE, 0.1, seed=0, permute=False)
+        truth = pair.ground_truth
+        for u, v in BASE.edges()[:40]:
+            tu, tv = truth[u], truth[v]
+            if tu >= 0 and tv >= 0:
+                assert pair.target.has_edge(int(tu), int(tv))
+
+    def test_accuracy_over_matchable_only(self):
+        pair = node_removal_pair(BASE, 0.2, seed=1)
+        # The truth itself (with -1 where unmatchable) scores accuracy 1.
+        assert accuracy(pair.ground_truth, pair.ground_truth) == 1.0
+
+    def test_inverse_truth_handles_partial(self):
+        pair = node_removal_pair(BASE, 0.1, seed=2)
+        inv = pair.inverse_truth
+        matched = np.flatnonzero(pair.ground_truth >= 0)
+        for source in matched[:20]:
+            assert inv[pair.ground_truth[source]] == source
+
+    def test_zero_removal_identity(self):
+        pair = node_removal_pair(BASE, 0.0, seed=0, permute=False)
+        assert pair.target == BASE
+
+    def test_validation(self):
+        with pytest.raises(NoiseError):
+            node_removal_pair(BASE, 1.0)
+        with pytest.raises(NoiseError):
+            node_removal_pair(BASE, -0.1)
+
+
+class TestDistanceNoise:
+    def test_edge_count_preserved(self):
+        pair = distance_noise_pair(BASE, 0.1, seed=0)
+        # Rewiring keeps m constant (up to skipped edges with no candidate).
+        assert abs(pair.target.num_edges - BASE.num_edges) <= 3
+
+    def test_locality(self):
+        """Rewired endpoints stay near the original edge: the average
+        distortion of a distance-2 rewiring is far below uniform rewiring."""
+        pair = distance_noise_pair(BASE, 0.15, seed=1, permute=False)
+        new_edges = pair.target.edge_set() - BASE.edge_set()
+        from repro.graphs.operations import bfs_distances
+        hops = []
+        for u, w in new_edges:
+            dist = bfs_distances(BASE, u)
+            if dist[w] > 0:
+                hops.append(dist[w])
+        assert hops and np.mean(hops) <= 2.01
+
+    def test_zero_noise_identity(self):
+        pair = distance_noise_pair(BASE, 0.0, seed=0, permute=False)
+        assert pair.target == BASE
+
+    def test_validation(self):
+        with pytest.raises(NoiseError):
+            distance_noise_pair(BASE, 1.5)
+
+
+class TestPoissonNoise:
+    def test_zero_intensity_keeps_most_edges(self):
+        pair = poisson_edge_pair(BASE, 0.0, seed=0, permute=False)
+        kept = len(pair.target.edge_set() & BASE.edge_set())
+        assert kept > 0.9 * BASE.num_edges
+
+    def test_intensity_adds_and_removes(self):
+        pair = poisson_edge_pair(BASE, 0.3, seed=1, permute=False)
+        removed = BASE.edge_set() - pair.target.edge_set()
+        added = pair.target.edge_set() - BASE.edge_set()
+        assert removed and added
+
+    def test_truth_valid(self):
+        pair = poisson_edge_pair(BASE, 0.2, seed=2)
+        assert accuracy(pair.ground_truth, pair.ground_truth) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(NoiseError):
+            poisson_edge_pair(BASE, -0.2)
+
+
+class TestAlgorithmsUnderExtendedNoise:
+    """Smoke: the pipeline runs end-to-end under each extra noise model."""
+
+    @pytest.mark.parametrize("factory,level", [
+        (node_removal_pair, 0.05),
+        (distance_noise_pair, 0.03),
+        (poisson_edge_pair, 0.05),
+    ])
+    def test_isorank_still_aligns(self, factory, level):
+        from repro.algorithms import get_algorithm
+        pair = factory(BASE, level, seed=5)
+        result = get_algorithm("isorank").align(pair.source, pair.target,
+                                                seed=0)
+        assert accuracy(result.mapping, pair.ground_truth) > 0.3

@@ -1,0 +1,142 @@
+"""Tests for the optimal-transport substrate (Sinkhorn, GW, Procrustes)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AlgorithmError, ConvergenceError
+from repro.ot import (
+    gromov_wasserstein,
+    gw_discrepancy,
+    gw_gradient,
+    orthogonal_procrustes,
+    sinkhorn,
+)
+from repro.ot.gromov import gw_barycenter_costs
+
+
+class TestSinkhorn:
+    def test_marginals_satisfied(self):
+        rng = np.random.default_rng(0)
+        cost = rng.random((6, 8))
+        mu = rng.random(6); mu /= mu.sum()
+        nu = rng.random(8); nu /= nu.sum()
+        plan = sinkhorn(cost, mu, nu, epsilon=0.05)
+        assert np.allclose(plan.sum(axis=1), mu, atol=1e-6)
+        assert np.allclose(plan.sum(axis=0), nu, atol=1e-4)
+
+    def test_uniform_default_marginals(self):
+        plan = sinkhorn(np.zeros((4, 4)), epsilon=0.1)
+        assert np.allclose(plan, 0.0625)
+
+    def test_small_epsilon_sharpens_toward_permutation(self):
+        cost = 1.0 - np.eye(5)
+        plan = sinkhorn(cost, epsilon=0.005, max_iter=2000)
+        assert np.allclose(np.argmax(plan, axis=1), np.arange(5))
+        assert plan.max() > 0.19  # close to the 1/5 permutation mass
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(AlgorithmError):
+            sinkhorn(np.zeros((2, 2)), epsilon=0.0)
+
+    def test_bad_marginal_shape(self):
+        with pytest.raises(AlgorithmError):
+            sinkhorn(np.zeros((2, 2)), mu=np.ones(3))
+
+    def test_negative_marginal_rejected(self):
+        with pytest.raises(AlgorithmError):
+            sinkhorn(np.zeros((2, 2)), mu=np.array([-1.0, 2.0]))
+
+    def test_raise_on_failure(self):
+        rng = np.random.default_rng(1)
+        cost = rng.random((10, 10)) * 100
+        with pytest.raises(ConvergenceError):
+            sinkhorn(cost, epsilon=0.001, max_iter=1,
+                     raise_on_failure=True)
+
+
+class TestGromovWasserstein:
+    def test_identity_cost_recovers_identity(self):
+        rng = np.random.default_rng(2)
+        c = rng.random((8, 8))
+        c = (c + c.T) / 2
+        plan = gromov_wasserstein(c, c, beta=0.01, outer_iter=50)
+        assert np.allclose(np.argmax(plan, axis=1), np.arange(8))
+
+    def test_permuted_cost_recovered(self):
+        rng = np.random.default_rng(3)
+        c1 = rng.random((10, 10)); c1 = (c1 + c1.T) / 2
+        perm = rng.permutation(10)
+        c2 = c1[np.ix_(perm, perm)]
+        # plan should map i -> position of i in c2, i.e. argsort(perm)?
+        plan = gromov_wasserstein(c1, c2, beta=0.01, outer_iter=60)
+        mapping = np.argmax(plan, axis=1)
+        inverse = np.argsort(perm)
+        assert np.mean(mapping == inverse) > 0.8
+
+    def test_discrepancy_zero_for_perfect_coupling(self):
+        c = np.array([[0.0, 1.0], [1.0, 0.0]])
+        plan = np.eye(2) / 2.0
+        assert gw_discrepancy(c, c, plan) == pytest.approx(0.0, abs=1e-12)
+
+    def test_gradient_shape(self):
+        c1 = np.zeros((3, 3)); c2 = np.zeros((5, 5))
+        plan = np.full((3, 5), 1 / 15)
+        grad = gw_gradient(c1, c2, plan, np.full(3, 1 / 3), np.full(5, 1 / 5))
+        assert grad.shape == (3, 5)
+
+    def test_rectangular(self):
+        rng = np.random.default_rng(4)
+        c1 = rng.random((6, 6)); c1 = (c1 + c1.T) / 2
+        c2 = rng.random((9, 9)); c2 = (c2 + c2.T) / 2
+        plan = gromov_wasserstein(c1, c2, beta=0.05, outer_iter=10)
+        assert plan.shape == (6, 9)
+        assert plan.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_nonsquare_cost_rejected(self):
+        with pytest.raises(AlgorithmError):
+            gromov_wasserstein(np.zeros((2, 3)), np.zeros((2, 2)))
+
+    def test_fused_term_steers_plan(self):
+        # Identical structure, but the extra cost forbids the identity.
+        c = np.zeros((3, 3))
+        extra = 1.0 - np.roll(np.eye(3), 1, axis=1)  # prefer i -> i+1
+        plan = gromov_wasserstein(c, c, beta=0.02, outer_iter=20,
+                                  extra_cost=extra, alpha=1.0)
+        assert np.allclose(np.argmax(plan, axis=1), (np.arange(3) + 1) % 3)
+
+
+class TestBarycenter:
+    def test_partitions_two_blocks(self):
+        # Two disjoint cliques: barycenter couplings should split them.
+        block = np.ones((4, 4)) - np.eye(4)
+        c = np.block([[block, np.zeros((4, 4))],
+                      [np.zeros((4, 4)), block]])
+        _bary, (plan,) = gw_barycenter_costs([c], size=2, beta=0.05,
+                                             seed=np.random.default_rng(0))
+        labels = np.argmax(plan, axis=1)
+        assert len(set(labels[:4].tolist())) == 1
+        assert len(set(labels[4:].tolist())) == 1
+        assert labels[0] != labels[4]
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(AlgorithmError):
+            gw_barycenter_costs([])
+
+
+class TestProcrustes:
+    def test_recovers_rotation(self):
+        rng = np.random.default_rng(5)
+        x = rng.random((20, 4))
+        q_true, _ = np.linalg.qr(rng.random((4, 4)))
+        y = x @ q_true
+        q = orthogonal_procrustes(x, y)
+        assert np.allclose(q, q_true, atol=1e-8)
+
+    def test_result_orthogonal(self):
+        rng = np.random.default_rng(6)
+        q = orthogonal_procrustes(rng.random((10, 3)), rng.random((10, 3)))
+        assert np.allclose(q.T @ q, np.eye(3), atol=1e-10)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(AlgorithmError):
+            orthogonal_procrustes(np.zeros((3, 2)), np.zeros((4, 2)))

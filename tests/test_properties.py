@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.assignment import jonker_volgenant, sort_greedy
+from repro.assignment.jv import solve_lap
+from repro.graphlets import orbit_counts
+from repro.graphs import Graph, erdos_renyi_graph
+from repro.graphs.operations import connected_components, permute_graph
+from repro.measures import (
+    accuracy,
+    edge_correctness,
+    matched_neighborhood_consistency,
+    symmetric_substructure_score,
+)
+from repro.noise import make_pair
+from repro.ot import sinkhorn
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def small_graphs(draw, min_nodes=2, max_nodes=16):
+    """A random simple graph as (num_nodes, edge list)."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=len(possible),
+                          unique=True)) if possible else []
+    return Graph(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+
+
+@st.composite
+def permutations(draw, size):
+    seed = draw(st.integers(0, 2 ** 31 - 1))
+    return np.random.default_rng(seed).permutation(size)
+
+
+# ----------------------------------------------------------------------
+# Graph invariants
+# ----------------------------------------------------------------------
+
+class TestGraphProperties:
+    @given(small_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_handshake_lemma(self, g):
+        assert g.degrees.sum() == 2 * g.num_edges
+
+    @given(small_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_adjacency_roundtrip(self, g):
+        assert Graph.from_adjacency(g.adjacency()) == g
+
+    @given(small_graphs(), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_preserves_structure(self, g, seed):
+        perm = np.random.default_rng(seed).permutation(g.num_nodes)
+        h = permute_graph(g, perm)
+        assert h.num_edges == g.num_edges
+        assert sorted(h.degrees.tolist()) == sorted(g.degrees.tolist())
+        assert np.array_equal(h.degrees[perm], g.degrees)
+
+    @given(small_graphs(), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_components_invariant_under_permutation(self, g, seed):
+        perm = np.random.default_rng(seed).permutation(g.num_nodes)
+        h = permute_graph(g, perm)
+        labels_g = connected_components(g)
+        labels_h = connected_components(h)
+        assert (np.bincount(labels_g).tolist().sort()
+                == np.bincount(labels_h).tolist().sort())
+
+
+class TestOrbitProperties:
+    @given(small_graphs(min_nodes=3, max_nodes=12), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_orbit_equivariance(self, g, seed):
+        perm = np.random.default_rng(seed).permutation(g.num_nodes)
+        counts = orbit_counts(g)
+        counts_perm = orbit_counts(permute_graph(g, perm))
+        assert np.array_equal(counts, counts_perm[perm])
+
+    @given(small_graphs(min_nodes=3, max_nodes=12))
+    @settings(max_examples=25, deadline=None)
+    def test_orbit_totals_consistent(self, g):
+        counts = orbit_counts(g)
+        assert counts[:, 0].sum() == 2 * g.num_edges
+        assert counts[:, 3].sum() % 3 == 0
+        assert counts[:, 6].sum() == 3 * counts[:, 7].sum()
+        assert counts[:, 14].sum() % 4 == 0
+
+
+# ----------------------------------------------------------------------
+# Assignment invariants
+# ----------------------------------------------------------------------
+
+class TestAssignmentProperties:
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_python_jv_optimal(self, rows, cols, seed):
+        if rows > cols:
+            rows, cols = cols, rows
+        cost = np.random.default_rng(seed).random((rows, cols))
+        ours = solve_lap(cost, engine="python")
+        ref_rows, ref_cols = linear_sum_assignment(cost)
+        assert cost[np.arange(rows), ours].sum() == pytest.approx(
+            cost[ref_rows, ref_cols].sum()
+        )
+
+    @given(st.integers(1, 15), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_jv_at_least_as_good_as_greedy(self, n, seed):
+        sim = np.random.default_rng(seed).random((n, n))
+        jv_map = jonker_volgenant(sim)
+        sg_map = sort_greedy(sim)
+        value = lambda m: sim[np.arange(n), m].sum()
+        assert value(jv_map) >= value(sg_map) - 1e-9
+
+    @given(st.integers(2, 15), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_sort_greedy_one_to_one(self, n, seed):
+        sim = np.random.default_rng(seed).random((n, n))
+        mapping = sort_greedy(sim)
+        assert sorted(mapping.tolist()) == list(range(n))
+
+
+# ----------------------------------------------------------------------
+# Measures invariants
+# ----------------------------------------------------------------------
+
+class TestMeasureProperties:
+    @given(small_graphs(min_nodes=3, max_nodes=14),
+           st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_measures_bounded(self, g, seed):
+        rng = np.random.default_rng(seed)
+        mapping = rng.permutation(g.num_nodes)
+        for fn in (edge_correctness, symmetric_substructure_score,
+                   matched_neighborhood_consistency):
+            value = fn(g, g, mapping)
+            assert 0.0 <= value <= 1.0
+
+    @given(small_graphs(min_nodes=3, max_nodes=14))
+    @settings(max_examples=30, deadline=None)
+    def test_identity_mapping_perfect(self, g):
+        mapping = np.arange(g.num_nodes)
+        assert accuracy(mapping, mapping) == 1.0
+        if g.num_edges:
+            assert edge_correctness(g, g, mapping) == 1.0
+            assert symmetric_substructure_score(g, g, mapping) == 1.0
+        assert matched_neighborhood_consistency(g, g, mapping) == 1.0
+
+    @given(st.integers(0, 2 ** 31 - 1),
+           st.sampled_from(["one-way", "multimodal", "two-way"]),
+           st.floats(0.0, 0.2))
+    @settings(max_examples=20, deadline=None)
+    def test_truth_mapping_has_perfect_accuracy(self, seed, noise_type, level):
+        g = erdos_renyi_graph(30, 0.2, seed=seed % 1000)
+        pair = make_pair(g, noise_type, level, seed=seed)
+        assert accuracy(pair.ground_truth, pair.ground_truth) == 1.0
+        # Under one-way noise the truth preserves all target edges backwards:
+        # every surviving source edge maps onto a target edge.
+        if noise_type == "one-way" and g.num_edges:
+            ec = edge_correctness(pair.source, pair.target, pair.ground_truth)
+            assert ec == pytest.approx(
+                pair.target.num_edges / pair.source.num_edges, abs=1e-9
+            )
+
+
+# ----------------------------------------------------------------------
+# OT invariants
+# ----------------------------------------------------------------------
+
+class TestSinkhornProperties:
+    @given(st.integers(2, 10), st.integers(2, 10), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_plan_is_coupling(self, n, m, seed):
+        cost = np.random.default_rng(seed).random((n, m))
+        plan = sinkhorn(cost, epsilon=0.1)
+        assert np.all(plan >= 0)
+        assert np.allclose(plan.sum(axis=1), 1.0 / n, atol=1e-6)
+        assert plan.sum() == pytest.approx(1.0, abs=1e-6)
+
+    @given(st.integers(2, 8), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_gibbs_kernel_cross_ratio(self, n, seed):
+        """A converged Sinkhorn plan is diag(a) exp(-C/eps) diag(b), so the
+        2x2 cross-ratio of plan entries must equal the kernel's cross-ratio
+        (the scalings cancel)."""
+        rng = np.random.default_rng(seed)
+        cost = rng.random((n, n))
+        eps = 0.2
+        plan = sinkhorn(cost, epsilon=eps, max_iter=5000, tol=1e-13)
+        i1, i2, j1, j2 = 0, n - 1, 0, n - 1
+        lhs = np.log(plan[i1, j1]) + np.log(plan[i2, j2]) \
+            - np.log(plan[i1, j2]) - np.log(plan[i2, j1])
+        rhs = -(cost[i1, j1] + cost[i2, j2]
+                - cost[i1, j2] - cost[i2, j1]) / eps
+        assert lhs == pytest.approx(rhs, abs=1e-3)

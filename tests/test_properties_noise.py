@@ -1,0 +1,88 @@
+"""Property-based tests on the noise models and their invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import erdos_renyi_graph
+from repro.measures import accuracy, edge_correctness
+from repro.noise import (
+    distance_noise_pair,
+    make_pair,
+    node_removal_pair,
+    poisson_edge_pair,
+)
+
+
+def _graph(seed):
+    return erdos_renyi_graph(40, 0.18, seed=seed % 5000)
+
+
+class TestMakePairProperties:
+    @given(st.integers(0, 2 ** 31 - 1),
+           st.sampled_from(["one-way", "multimodal", "two-way"]),
+           st.floats(0.0, 0.25))
+    @settings(max_examples=25, deadline=None)
+    def test_noise_budget_respected(self, seed, noise_type, level):
+        graph = _graph(seed)
+        pair = make_pair(graph, noise_type, level, seed=seed)
+        removed = int(round(level * graph.num_edges))
+        if noise_type == "one-way":
+            assert pair.target.num_edges == graph.num_edges - removed
+        elif noise_type == "multimodal":
+            assert pair.target.num_edges == graph.num_edges
+        else:
+            assert pair.source.num_edges == graph.num_edges - removed
+            assert pair.target.num_edges == graph.num_edges - removed
+
+    @given(st.integers(0, 2 ** 31 - 1), st.floats(0.0, 0.25))
+    @settings(max_examples=20, deadline=None)
+    def test_truth_is_bijection(self, seed, level):
+        pair = make_pair(_graph(seed), "one-way", level, seed=seed)
+        truth = pair.ground_truth
+        assert sorted(truth.tolist()) == list(range(truth.size))
+
+    @given(st.integers(0, 2 ** 31 - 1), st.floats(0.0, 0.2))
+    @settings(max_examples=15, deadline=None)
+    def test_truth_edge_conservation_bounds(self, seed, level):
+        """The true mapping conserves exactly (m - k)/m source edges under
+        one-way noise, and at least that under multimodal (an addition can
+        coincidentally recreate a removed pair, never destroy one more)."""
+        graph = _graph(seed)
+        if graph.num_edges == 0:
+            return
+        k = int(round(level * graph.num_edges))
+        floor = (graph.num_edges - k) / graph.num_edges
+        ow = make_pair(graph, "one-way", level, seed=seed)
+        mm = make_pair(graph, "multimodal", level, seed=seed)
+        ec_ow = edge_correctness(ow.source, ow.target, ow.ground_truth)
+        ec_mm = edge_correctness(mm.source, mm.target, mm.ground_truth)
+        assert ec_ow == pytest.approx(floor)
+        assert ec_mm >= floor - 1e-9
+
+
+class TestExtendedNoiseProperties:
+    @given(st.integers(0, 2 ** 31 - 1), st.floats(0.0, 0.3))
+    @settings(max_examples=15, deadline=None)
+    def test_node_removal_sizes(self, seed, fraction):
+        graph = _graph(seed)
+        pair = node_removal_pair(graph, fraction, seed=seed)
+        removed = int(round(fraction * graph.num_nodes))
+        assert pair.target.num_nodes == graph.num_nodes - removed
+        assert int(np.sum(pair.ground_truth == -1)) == removed
+        assert accuracy(pair.ground_truth, pair.ground_truth) in (0.0, 1.0)
+
+    @given(st.integers(0, 2 ** 31 - 1), st.floats(0.0, 0.2))
+    @settings(max_examples=10, deadline=None)
+    def test_distance_noise_node_count_fixed(self, seed, level):
+        graph = _graph(seed)
+        pair = distance_noise_pair(graph, level, seed=seed)
+        assert pair.target.num_nodes == graph.num_nodes
+
+    @given(st.integers(0, 2 ** 31 - 1), st.floats(0.0, 0.4))
+    @settings(max_examples=10, deadline=None)
+    def test_poisson_truth_valid(self, seed, intensity):
+        graph = _graph(seed)
+        pair = poisson_edge_pair(graph, intensity, seed=seed)
+        truth = pair.ground_truth
+        assert sorted(truth.tolist()) == list(range(graph.num_nodes))

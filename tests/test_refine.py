@@ -1,0 +1,71 @@
+"""Tests for alignment refinement."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.refine import refine_alignment
+from repro.exceptions import AlgorithmError
+from repro.graphs import powerlaw_cluster_graph
+from repro.measures import accuracy, matched_neighborhood_consistency
+from repro.noise import make_pair
+
+GRAPH = powerlaw_cluster_graph(100, 4, 0.4, seed=111)
+PAIR = make_pair(GRAPH, "one-way", 0.02, seed=112)
+
+
+class TestRefinement:
+    def test_improves_weak_initial_alignment(self):
+        base = get_algorithm("nsd").align(PAIR.source, PAIR.target, seed=0)
+        refined = refine_alignment(PAIR.source, PAIR.target, base.mapping)
+        assert accuracy(refined, PAIR.ground_truth) >= accuracy(
+            base.mapping, PAIR.ground_truth
+        )
+
+    def test_improves_mnc(self):
+        base = get_algorithm("regal").align(PAIR.source, PAIR.target, seed=0)
+        refined = refine_alignment(PAIR.source, PAIR.target, base.mapping)
+        assert matched_neighborhood_consistency(
+            PAIR.source, PAIR.target, refined
+        ) >= matched_neighborhood_consistency(
+            PAIR.source, PAIR.target, base.mapping
+        )
+
+    def test_perfect_alignment_is_fixed_point(self):
+        refined = refine_alignment(PAIR.source, PAIR.target,
+                                   PAIR.ground_truth, iterations=3)
+        assert accuracy(refined, PAIR.ground_truth) == 1.0
+
+    def test_zero_iterations_identity(self):
+        base = np.random.default_rng(0).permutation(100)
+        refined = refine_alignment(PAIR.source, PAIR.target, base,
+                                   iterations=0)
+        assert np.array_equal(refined, base)
+
+    def test_handles_partial_mapping(self):
+        partial = PAIR.ground_truth.copy()
+        partial[:10] = -1
+        refined = refine_alignment(PAIR.source, PAIR.target, partial)
+        assert refined.shape == (100,)
+
+    def test_random_start_recovers_structure(self):
+        """Even from a random permutation the refinement raises MNC."""
+        rng = np.random.default_rng(1)
+        random_map = rng.permutation(100)
+        refined = refine_alignment(PAIR.source, PAIR.target, random_map,
+                                   iterations=15)
+        assert matched_neighborhood_consistency(
+            PAIR.source, PAIR.target, refined
+        ) > matched_neighborhood_consistency(
+            PAIR.source, PAIR.target, random_map
+        )
+
+    def test_validation(self):
+        with pytest.raises(AlgorithmError):
+            refine_alignment(PAIR.source, PAIR.target, np.zeros(5, int))
+        with pytest.raises(AlgorithmError):
+            refine_alignment(PAIR.source, PAIR.target,
+                             np.full(100, 500))
+        with pytest.raises(AlgorithmError):
+            refine_alignment(PAIR.source, PAIR.target, PAIR.ground_truth,
+                             iterations=-1)

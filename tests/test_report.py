@@ -1,0 +1,66 @@
+"""Tests for markdown report generation."""
+
+import numpy as np
+
+from repro.harness import ResultTable, RunRecord
+from repro.harness.report import markdown_report
+
+
+def _record(**overrides):
+    base = dict(
+        algorithm="isorank", dataset="pl", noise_type="one-way",
+        noise_level=0.01, repetition=0, assignment="jv",
+        measures={"accuracy": 0.9, "s3": 0.8},
+        similarity_time=1.0, assignment_time=0.1,
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+class TestMarkdownReport:
+    def test_structure(self):
+        table = ResultTable([
+            _record(noise_level=0.0, measures={"accuracy": 1.0, "s3": 1.0}),
+            _record(noise_level=0.05, measures={"accuracy": 0.4, "s3": 0.3}),
+        ])
+        text = markdown_report(table, title="demo")
+        assert text.startswith("# demo")
+        assert "## accuracy — one-way noise" in text
+        assert "| isorank |" in text
+        assert "## chart" in text
+        assert "```" in text
+
+    def test_missing_cells_dashed(self):
+        table = ResultTable([
+            _record(),
+            _record(algorithm="gwl", noise_level=0.05, failed=True,
+                    measures={}),
+        ])
+        text = markdown_report(table)
+        assert "--" in text
+
+    def test_failures_section(self):
+        table = ResultTable([
+            _record(failed=True, measures={}, error="timeout after 3h"),
+        ])
+        text = markdown_report(table)
+        assert "## failures" in text
+        assert "timeout after 3h" in text
+
+    def test_no_failures_no_section(self):
+        text = markdown_report(ResultTable([_record()]))
+        assert "## failures" not in text
+
+    def test_empty_table(self):
+        text = markdown_report(ResultTable())
+        assert "records: 0" in text
+
+    def test_measure_selection(self):
+        table = ResultTable([_record(measures={"ec": 0.7})])
+        text = markdown_report(table, measures=("ec",), chart_measure="ec")
+        assert "## ec — one-way noise" in text
+
+    def test_chart_disabled(self):
+        table = ResultTable([_record()])
+        text = markdown_report(table, chart_measure=None)
+        assert "## chart" not in text

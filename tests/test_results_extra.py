@@ -1,0 +1,98 @@
+"""Additional coverage for result tables and CSV/report output."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.harness import ResultTable, RunRecord
+
+
+def _record(**overrides):
+    base = dict(
+        algorithm="a", dataset="d", noise_type="one-way", noise_level=0.01,
+        repetition=0, assignment="jv", measures={"accuracy": 0.5},
+        similarity_time=2.0, assignment_time=1.0, peak_memory_bytes=1024,
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+class TestSeries:
+    def test_series_respects_conditions(self):
+        table = ResultTable([
+            _record(noise_type="one-way", noise_level=0.0,
+                    measures={"accuracy": 0.9}),
+            _record(noise_type="multimodal", noise_level=0.0,
+                    measures={"accuracy": 0.1}),
+        ])
+        series = table.series("a", "noise_level", "accuracy",
+                              noise_type="one-way")
+        assert series == [(0.0, 0.9)]
+
+    def test_series_sorted_by_x(self):
+        table = ResultTable([
+            _record(noise_level=0.05, measures={"accuracy": 0.2}),
+            _record(noise_level=0.0, measures={"accuracy": 1.0}),
+            _record(noise_level=0.02, measures={"accuracy": 0.6}),
+        ])
+        xs = [x for x, _y in table.series("a", "noise_level", "accuracy")]
+        assert xs == sorted(xs)
+
+    def test_series_averages_repetitions(self):
+        table = ResultTable([
+            _record(repetition=0, measures={"accuracy": 0.4}),
+            _record(repetition=1, measures={"accuracy": 0.6}),
+        ])
+        assert table.series("a", "noise_level", "accuracy") == [(0.01, 0.5)]
+
+
+class TestCsv:
+    def test_round_trip_values(self, tmp_path):
+        path = tmp_path / "r.csv"
+        ResultTable([
+            _record(measures={"accuracy": 0.5, "s3": 0.25}),
+            _record(algorithm="b", failed=True, measures={}),
+        ]).to_csv(path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["algorithm"] == "a"
+        assert float(rows[0]["accuracy"]) == 0.5
+        assert rows[1]["failed"] == "True"
+        assert rows[1]["accuracy"] == ""
+
+    def test_memory_column(self, tmp_path):
+        path = tmp_path / "r.csv"
+        ResultTable([_record()]).to_csv(path)
+        with open(path) as handle:
+            row = next(csv.DictReader(handle))
+        assert int(row["peak_memory_bytes"]) == 1024
+
+
+class TestGridFormatting:
+    def test_custom_format_string(self):
+        table = ResultTable([_record(measures={"accuracy": 0.123456})])
+        text = table.format_grid("algorithm", "noise_level", "accuracy",
+                                 fmt="{:.1f}")
+        assert "0.1" in text
+
+    def test_timing_grid(self):
+        table = ResultTable([_record()])
+        text = table.format_grid("algorithm", "noise_level",
+                                 "similarity_time", fmt="{:.2f}")
+        assert "2.00" in text
+
+    def test_rows_sorted_stably(self):
+        table = ResultTable([
+            _record(algorithm="zeta"),
+            _record(algorithm="alpha"),
+        ])
+        text = table.format_grid("algorithm", "noise_level", "accuracy")
+        assert text.index("alpha") < text.index("zeta")
+
+    def test_extend_and_iter(self):
+        table = ResultTable()
+        table.extend([_record(), _record(repetition=1)])
+        assert len(list(iter(table))) == 2
+        assert len(table.records) == 2

@@ -1,0 +1,121 @@
+"""Tests for the statistical comparison utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.harness import ResultTable, RunRecord
+from repro.measures.significance import (
+    bootstrap_mean_ci,
+    compare_algorithms,
+    paired_bootstrap_test,
+    wilcoxon_sign_test,
+)
+
+
+class TestBootstrapCi:
+    def test_contains_mean(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(0.7, 0.05, size=30)
+        mean, low, high = bootstrap_mean_ci(sample)
+        assert low <= mean <= high
+        assert mean == pytest.approx(sample.mean())
+
+    def test_narrower_with_more_data(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(0.5, 0.1, size=5)
+        large = rng.normal(0.5, 0.1, size=500)
+        _m1, lo1, hi1 = bootstrap_mean_ci(small)
+        _m2, lo2, hi2 = bootstrap_mean_ci(large)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ExperimentError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+
+
+class TestPairedBootstrap:
+    def test_clear_difference_significant(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0.9, 0.02, size=20)
+        b = rng.normal(0.5, 0.02, size=20)
+        diff, p = paired_bootstrap_test(a, b)
+        assert diff > 0.3
+        assert p < 0.01
+
+    def test_identical_samples_not_significant(self):
+        a = np.full(10, 0.7)
+        diff, p = paired_bootstrap_test(a, a)
+        assert diff == 0.0
+        assert p == 1.0
+
+    def test_constant_difference_detected(self):
+        a = np.full(8, 0.9)
+        b = np.full(8, 0.6)
+        diff, p = paired_bootstrap_test(a, b)
+        assert diff == pytest.approx(0.3)
+        assert p == 0.0
+
+    def test_noisy_tie_not_significant(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0.7, 0.1, size=8)
+        b = a + rng.normal(0.0, 0.1, size=8)
+        _diff, p = paired_bootstrap_test(a, b)
+        assert p > 0.05
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            paired_bootstrap_test([1.0], [1.0, 2.0])
+
+
+class TestSignTest:
+    def test_counts_and_exact_p(self):
+        a = [0.9, 0.8, 0.7, 0.6, 0.5]
+        b = [0.1, 0.1, 0.1, 0.1, 0.9]
+        wins_a, wins_b, p = wilcoxon_sign_test(a, b)
+        assert wins_a == 4 and wins_b == 1
+        # Exact: 2 * (C(5,0) + C(5,1)) / 2^5 = 2 * 6/32 = 0.375.
+        assert p == pytest.approx(0.375)
+
+    def test_all_ties(self):
+        wins_a, wins_b, p = wilcoxon_sign_test([0.5] * 4, [0.5] * 4)
+        assert (wins_a, wins_b, p) == (0, 0, 1.0)
+
+
+class TestCompareAlgorithms:
+    def _table(self):
+        records = []
+        for rep in range(6):
+            for name, score in (("good", 0.9 - rep * 0.01),
+                                ("bad", 0.4 + rep * 0.01)):
+                records.append(RunRecord(
+                    algorithm=name, dataset="pl", noise_type="one-way",
+                    noise_level=0.02, repetition=rep, assignment="jv",
+                    measures={"accuracy": score},
+                    similarity_time=0, assignment_time=0,
+                ))
+        return ResultTable(records)
+
+    def test_comparison(self):
+        result = compare_algorithms(self._table(), "good", "bad")
+        assert result.mean_difference > 0.3
+        assert result.significant
+        assert result.wins_a == 6 and result.wins_b == 0
+        assert "significant" in str(result)
+
+    def test_no_shared_instances_rejected(self):
+        table = self._table()
+        with pytest.raises(ExperimentError):
+            compare_algorithms(table, "good", "missing")
+
+    def test_failed_records_excluded(self):
+        table = self._table()
+        table.add(RunRecord(
+            algorithm="good", dataset="pl", noise_type="one-way",
+            noise_level=0.02, repetition=99, assignment="jv", measures={},
+            similarity_time=0, assignment_time=0, failed=True,
+        ))
+        result = compare_algorithms(table, "good", "bad")
+        assert result.sample_size == 6

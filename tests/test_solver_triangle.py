@@ -1,0 +1,64 @@
+"""Three-way cross-validation of the independent LAP solvers.
+
+The repository ships three exact/near-exact assignment solvers written
+independently (pure-Python shortest augmenting path, SciPy's C++ engine,
+and the Bertsekas auction).  Agreement across all three on random
+instances is the strongest correctness evidence available without an
+oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.assignment import auction_assignment
+from repro.assignment.jv import solve_lap
+
+
+def _value(cost, cols):
+    return cost[np.arange(cost.shape[0]), cols].sum()
+
+
+class TestSolverTriangle:
+    @given(st.integers(2, 12), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_three_solvers_agree_on_integers(self, n, seed):
+        benefit = np.random.default_rng(seed).integers(0, 25, (n, n)).astype(float)
+        cost = -benefit
+        python_jv = solve_lap(cost, engine="python")
+        scipy_jv = solve_lap(cost, engine="scipy")
+        auction = auction_assignment(benefit)
+        optimal = _value(benefit, linear_sum_assignment(cost)[1])
+        assert _value(benefit, python_jv) == pytest.approx(optimal)
+        assert _value(benefit, scipy_jv) == pytest.approx(optimal)
+        assert _value(benefit, auction) == pytest.approx(optimal)
+
+    @given(st.integers(2, 10), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_permutation_outputs(self, n, seed):
+        """All solvers return genuine permutations on square inputs."""
+        benefit = np.random.default_rng(seed).random((n, n))
+        for cols in (solve_lap(-benefit, engine="python"),
+                     auction_assignment(benefit)):
+            assert sorted(cols.tolist()) == list(range(n))
+
+    @given(st.integers(2, 8), st.integers(2, 8), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_rectangular_python_jv_optimal(self, rows, cols, seed):
+        if rows > cols:
+            rows, cols = cols, rows
+        cost = np.random.default_rng(seed).random((rows, cols))
+        ours = solve_lap(cost, engine="python")
+        ref = linear_sum_assignment(cost)
+        assert cost[np.arange(rows), ours].sum() == pytest.approx(
+            cost[ref[0], ref[1]].sum()
+        )
+
+    def test_duplicate_costs_all_optimal(self):
+        """Heavy ties: any returned matching must still be optimal."""
+        cost = np.ones((6, 6))
+        cost[0, 0] = 0.0
+        for cols in (solve_lap(cost, engine="python"),
+                     solve_lap(cost, engine="scipy")):
+            assert cost[np.arange(6), cols].sum() == pytest.approx(5.0)

@@ -1,0 +1,86 @@
+"""Tests for the spectral substrate."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AlgorithmError
+from repro.graphs import Graph, cycle_graph, erdos_renyi_graph, normalized_laplacian
+from repro.spectral import fix_signs, heat_kernel_diagonals, laplacian_eigenpairs
+
+
+class TestEigenpairs:
+    def test_full_spectrum(self, karate_like):
+        vals, vecs = laplacian_eigenpairs(karate_like)
+        assert vals.shape == (34,)
+        assert vecs.shape == (34, 34)
+        assert np.all(np.diff(vals) >= -1e-10)
+
+    def test_partial_spectrum(self, karate_like):
+        vals, vecs = laplacian_eigenpairs(karate_like, k=5)
+        full_vals, _ = laplacian_eigenpairs(karate_like)
+        assert np.allclose(vals, full_vals[:5], atol=1e-8)
+
+    def test_eigen_equation(self, karate_like):
+        lap = normalized_laplacian(karate_like, dense=True)
+        vals, vecs = laplacian_eigenpairs(karate_like, k=4)
+        assert np.allclose(lap @ vecs, vecs * vals[np.newaxis, :], atol=1e-8)
+
+    def test_first_eigenvalue_zero_when_connected(self, pl_graph):
+        vals, _ = laplacian_eigenpairs(pl_graph, k=2)
+        assert vals[0] == pytest.approx(0.0, abs=1e-9)
+        assert vals[1] > 1e-6
+
+    def test_sparse_path_used_for_large_graphs(self):
+        g = erdos_renyi_graph(700, 0.02, seed=0)  # above the dense cutoff
+        vals, vecs = laplacian_eigenpairs(g, k=6)
+        assert vals.shape == (6,)
+        lap = normalized_laplacian(g, dense=True)
+        assert np.allclose(lap @ vecs, vecs * vals[np.newaxis, :], atol=1e-6)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(AlgorithmError):
+            laplacian_eigenpairs(Graph(0))
+
+
+class TestFixSigns:
+    def test_idempotent(self, karate_like):
+        _, vecs = laplacian_eigenpairs(karate_like, k=5)
+        assert np.allclose(fix_signs(vecs), vecs)
+
+    def test_flips_negative_peak(self):
+        vecs = np.array([[0.1, -0.9], [0.9, 0.1]])
+        fixed = fix_signs(vecs)
+        assert fixed[1, 0] > 0
+        assert fixed[0, 1] > 0
+
+    def test_permutation_invariant_after_fixing(self, pl_graph):
+        """Isomorphic graphs get the same eigenvectors up to the node relabeling."""
+        from repro.graphs.operations import permute_graph
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(pl_graph.num_nodes)
+        permuted = permute_graph(pl_graph, perm)
+        vals_a, vecs_a = laplacian_eigenpairs(pl_graph, k=4)
+        vals_b, vecs_b = laplacian_eigenpairs(permuted, k=4)
+        assert np.allclose(vals_a, vals_b, atol=1e-8)
+        # Skip eigenvectors with nearly-repeated eigenvalues (rotation freedom).
+        for j in range(4):
+            gap_ok = (j == 0 or vals_a[j] - vals_a[j - 1] > 1e-6) and (
+                j == 3 or vals_a[j + 1] - vals_a[j] > 1e-6
+            )
+            if gap_ok:
+                assert np.allclose(np.abs(vecs_a[:, j]),
+                                   np.abs(vecs_b[perm, j]), atol=1e-6)
+
+
+class TestHeatKernelDiagonals:
+    def test_shape(self, small_cycle):
+        vals, vecs = laplacian_eigenpairs(small_cycle)
+        diags = heat_kernel_diagonals(vals, vecs, [0.1, 1.0, 10.0])
+        assert diags.shape == (3, 6)
+
+    def test_matches_expm_diagonal(self, triangle):
+        from scipy.linalg import expm
+        lap = normalized_laplacian(triangle, dense=True)
+        vals, vecs = laplacian_eigenpairs(triangle)
+        diags = heat_kernel_diagonals(vals, vecs, [0.5])
+        assert np.allclose(diags[0], np.diag(expm(-0.5 * lap)))

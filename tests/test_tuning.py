@@ -1,0 +1,49 @@
+"""Tests for the hyperparameter grid search."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.graphs import powerlaw_cluster_graph
+from repro.harness.tuning import grid_search
+from repro.noise import make_noisy_copies
+
+GRAPH = powerlaw_cluster_graph(70, 3, 0.3, seed=95)
+PAIRS = make_noisy_copies(GRAPH, "one-way", 0.02, copies=2, seed=96)
+
+
+class TestGridSearch:
+    def test_all_combinations_scored(self):
+        result = grid_search("isorank", {"alpha": [0.5, 0.9],
+                                         "iterations": [5, 30]}, PAIRS)
+        assert len(result.scores) == 4
+        assert result.best_score >= result.scores[-1][1]
+
+    def test_degree_prior_wins(self):
+        """The search must rediscover the paper's §6.1 finding."""
+        result = grid_search("isorank", {"prior": ["degree", "uniform"]},
+                             PAIRS)
+        assert result.best_params == {"prior": "degree"}
+
+    def test_failed_configs_rank_last(self):
+        # iterations=0 is rejected by NSD's constructor -> failure -> 0.0.
+        result = grid_search("nsd", {"iterations": [0, 20]}, PAIRS)
+        assert result.best_params == {"iterations": 20}
+        assert result.scores[-1] == ({"iterations": 0}, 0.0)
+
+    def test_format_table(self):
+        result = grid_search("isorank", {"alpha": [0.9]}, PAIRS)
+        text = result.format_table()
+        assert "isorank" in text and "<- best" in text
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            grid_search("isorank", {}, PAIRS)
+        with pytest.raises(ExperimentError):
+            grid_search("isorank", {"alpha": [0.9]}, [])
+        with pytest.raises(ExperimentError):
+            grid_search("isorank", {"alpha": []}, PAIRS)
+
+    def test_deterministic(self):
+        a = grid_search("nsd", {"alpha": [0.6, 0.8]}, PAIRS, seed=5)
+        b = grid_search("nsd", {"alpha": [0.6, 0.8]}, PAIRS, seed=5)
+        assert a.scores == b.scores

@@ -1,0 +1,85 @@
+"""Tests for the small shared utilities and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    AlgorithmError,
+    AssignmentError,
+    ConvergenceError,
+    DatasetError,
+    ExperimentError,
+    GraphError,
+    NoiseError,
+    ReproError,
+)
+from repro.util import degree_prior, frobenius_normalize, pairwise_sq_dists
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize("exc", [
+        GraphError, NoiseError, AssignmentError, AlgorithmError,
+        ConvergenceError, DatasetError, ExperimentError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_convergence_is_algorithm_error(self):
+        assert issubclass(ConvergenceError, AlgorithmError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise DatasetError("nope")
+
+
+class TestPairwiseSqDists:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.random((7, 4)), rng.random((5, 4))
+        fast = pairwise_sq_dists(x, y)
+        naive = ((x[:, None, :] - y[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(fast, naive)
+
+    def test_non_negative_despite_cancellation(self):
+        x = np.full((3, 2), 1e8)
+        d = pairwise_sq_dists(x, x)
+        assert np.all(d >= 0.0)
+
+    def test_self_distance_zero(self):
+        x = np.random.default_rng(1).random((6, 3))
+        assert np.allclose(np.diag(pairwise_sq_dists(x, x)), 0.0)
+
+
+class TestFrobeniusNormalize:
+    def test_unit_norm(self):
+        mat = np.random.default_rng(2).random((4, 5))
+        assert np.linalg.norm(frobenius_normalize(mat)) == pytest.approx(1.0)
+
+    def test_zero_matrix_passthrough(self):
+        z = np.zeros((3, 3))
+        assert np.array_equal(frobenius_normalize(z), z)
+
+
+class TestDegreePrior:
+    def test_symmetric_in_roles(self):
+        a, b = np.array([3, 7]), np.array([7, 3, 5])
+        prior = degree_prior(a, b)
+        assert prior[0, 1] == prior[1, 0] == 1.0
+
+    def test_identical_degrees_score_one(self):
+        prior = degree_prior([5], [5])
+        assert prior[0, 0] == 1.0
+
+    def test_extreme_mismatch_scores_near_zero(self):
+        prior = degree_prior([1], [1000])
+        assert prior[0, 0] == pytest.approx(0.001)
+
+    def test_zero_degrees_convention(self):
+        prior = degree_prior([0, 3], [0])
+        assert prior[0, 0] == 1.0   # isolated vs isolated
+        assert prior[1, 0] == 0.0   # degree 3 vs isolated
+
+    def test_range(self):
+        rng = np.random.default_rng(3)
+        prior = degree_prior(rng.integers(0, 50, 20), rng.integers(0, 50, 30))
+        assert np.all(prior >= 0.0) and np.all(prior <= 1.0)
