@@ -10,12 +10,19 @@ same "who gets to run" structure.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.algorithms import list_algorithms
-from repro.harness import Profile, ResultTable, RunRecord, run_cell
+from repro.harness import (
+    Profile,
+    ResultTable,
+    RunJournal,
+    RunRecord,
+    cell_key,
+    run_cell,
+)
 from repro.noise import GraphPair
 
 ALL_ALGORITHMS = tuple(list_algorithms())
@@ -77,24 +84,37 @@ def run_matrix(
     measures: Sequence[str] = ("accuracy", "s3", "mnc"),
     dataset: str = "synthetic",
     track_memory: bool = False,
+    journal: Optional[RunJournal] = None,
 ) -> ResultTable:
     """Run every algorithm on every (pair, repetition) with budget checks.
 
     ``pairs`` yields ``(pair, repetition)`` tuples (or bare pairs, in which
-    case repetitions are numbered by arrival order).
+    case repetitions are numbered by arrival order).  Passing a
+    :class:`~repro.harness.RunJournal` makes the matrix resumable: each
+    record is durably appended as it completes, and cells already in the
+    journal (including budget failures) are replayed from it instead of
+    being rerun.
     """
     table = ResultTable()
     for index, item in enumerate(pairs):
         pair, repetition = item if isinstance(item, tuple) else (item, index)
         size = max(pair.source.num_nodes, pair.target.num_nodes)
         for name in algorithms:
-            if not eligible(name, size, profile):
-                table.add(budget_failure(name, pair, dataset,
-                                         repetition, assignment))
+            key = cell_key(dataset, pair.noise_type, pair.noise_level,
+                           repetition, name)
+            if journal is not None and key in journal:
+                table.add(journal.get(key))
                 continue
-            table.add(run_cell(name, pair, dataset, repetition,
-                               assignment=assignment, measures=measures,
-                               seed=repetition, track_memory=track_memory))
+            if not eligible(name, size, profile):
+                record = budget_failure(name, pair, dataset,
+                                        repetition, assignment)
+            else:
+                record = run_cell(name, pair, dataset, repetition,
+                                  assignment=assignment, measures=measures,
+                                  seed=repetition, track_memory=track_memory)
+            table.add(record)
+            if journal is not None:
+                journal.append(key, record)
     return table
 
 

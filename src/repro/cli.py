@@ -96,6 +96,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="dataset scale (default: active profile's)")
     exp.add_argument("--seed", type=int, default=0)
     exp.add_argument("--csv", default=None, help="dump raw records here")
+    exp.add_argument("--journal", default=None, metavar="PATH",
+                     help="write-ahead journal; rerun with the same path "
+                          "to resume a crashed sweep without redoing "
+                          "completed cells")
+    exp.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                     help="run each cell in a child process killed at this "
+                          "wall-clock deadline (paper: 3 h)")
+    exp.add_argument("--memory-limit-mb", type=float, default=None,
+                     help="cap each cell's address space (requires "
+                          "--timeout; paper: 256 GB)")
+    exp.add_argument("--retries", type=int, default=1, metavar="N",
+                     help="total attempts per cell for transient failures "
+                          "(default 1 = no retry)")
+    exp.add_argument("--retry-backoff", type=float, default=0.5,
+                     help="seconds before the first retry, doubled per "
+                          "further attempt")
     return parser
 
 
@@ -146,9 +162,23 @@ def _cmd_align(args, out) -> int:
 
 
 def _cmd_experiment(args, out) -> int:
+    from repro.harness import CellBudget, RetryPolicy
+
     profile = active_profile()
     scale = args.scale if args.scale is not None else profile.graph_scale
     graph = load_dataset(args.dataset, scale=scale, seed=args.seed)
+    budget = None
+    if args.timeout is not None:
+        memory = (int(args.memory_limit_mb * 2 ** 20)
+                  if args.memory_limit_mb is not None else None)
+        budget = CellBudget(time_seconds=args.timeout, memory_bytes=memory)
+    elif args.memory_limit_mb is not None:
+        out.write("--memory-limit-mb requires --timeout "
+                  "(cells must run in a child process)\n")
+        return 2
+    retry = (RetryPolicy(max_attempts=args.retries,
+                         backoff_seconds=args.retry_backoff)
+             if args.retries > 1 else None)
     config = ExperimentConfig(
         name=f"cli-{args.dataset}",
         algorithms=args.algorithms,
@@ -159,8 +189,14 @@ def _cmd_experiment(args, out) -> int:
         measures=(args.measure,) if args.measure != "accuracy"
         else ("accuracy", "s3", "mnc"),
         seed=args.seed,
+        budget=budget,
+        retry_policy=retry,
     )
-    table = run_experiment(config, {args.dataset: graph})
+    table = run_experiment(config, {args.dataset: graph},
+                           journal=args.journal)
+    if args.journal:
+        out.write(f"journal: {args.journal} ({len(table)} cells durable; "
+                  f"rerun with the same --journal to resume)\n")
     out.write(f"{args.dataset} (n={graph.num_nodes}, m={graph.num_edges}), "
               f"{args.noise_type} noise, mean {args.measure} over "
               f"{args.reps} repetitions:\n")

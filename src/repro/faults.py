@@ -1,0 +1,150 @@
+"""Fault injection for hardening the experiment harness.
+
+The sweeps behind the paper's figures run hundreds of cells; the harness
+must convert *any* single-cell breakdown into a failed record instead of
+dying.  This module makes those breakdowns reproducible on demand: a
+context manager wraps any registered algorithm so its similarity stage
+raises, hangs, or allocates without bound on chosen calls.  The fault
+suite uses it to prove end-to-end that journaled sweeps, budgets, and
+retries survive every failure mode.
+
+::
+
+    with inject_fault("isorank", FaultSpec(mode="raise",
+                                           exc=LinAlgError("injected"))):
+        record = run_cell("isorank", pair, "arenas", 0)
+    assert record.failed
+
+Because the budget runner forks its children, an injected fault is
+inherited by child processes too — a ``hang`` fault exercises the
+wall-clock kill path and an ``allocate`` fault the memory cap.  Call
+counts are per process: each forked child starts from the parent's count
+at fork time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.algorithms.base import ALGORITHM_REGISTRY
+from repro.exceptions import ConvergenceError, ExperimentError
+
+__all__ = ["FaultSpec", "FaultHandle", "inject_fault"]
+
+_MODES = ("raise", "hang", "allocate")
+
+# Per-process call counts, keyed by algorithm name (lowercase).
+_CALL_COUNTS: Dict[str, int] = {}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What to inject and when.
+
+    Attributes
+    ----------
+    mode:
+        ``"raise"`` raises ``exc``; ``"hang"`` sleeps ``hang_seconds``
+        (long past any test budget); ``"allocate"`` grows memory until
+        the process's limit raises :class:`MemoryError` (or until
+        ``allocate_limit_bytes``, as a safety valve on uncapped hosts).
+    on_call:
+        1-indexed similarity call that triggers the fault; ``None``
+        triggers on every call.  Non-triggering calls run the real
+        algorithm untouched.
+    """
+
+    mode: str = "raise"
+    on_call: Optional[int] = 1
+    exc: BaseException = field(
+        default_factory=lambda: ConvergenceError("injected fault")
+    )
+    hang_seconds: float = 3600.0
+    allocate_limit_bytes: int = 8 * 2 ** 30
+
+    def __post_init__(self):
+        if self.mode not in _MODES:
+            raise ExperimentError(
+                f"unknown fault mode {self.mode!r}; choose from {_MODES}"
+            )
+        if self.on_call is not None and self.on_call < 1:
+            raise ExperimentError(
+                f"on_call is 1-indexed, got {self.on_call}"
+            )
+
+    def triggers(self, call_number: int) -> bool:
+        return self.on_call is None or call_number == self.on_call
+
+
+class FaultHandle:
+    """Live view of an injection: how often the wrapped stage ran."""
+
+    def __init__(self, key: str):
+        self._key = key
+
+    @property
+    def calls(self) -> int:
+        """Similarity calls seen so far in *this* process."""
+        return _CALL_COUNTS.get(self._key, 0)
+
+
+def _fire(spec: FaultSpec) -> None:
+    if spec.mode == "raise":
+        raise spec.exc
+    if spec.mode == "hang":
+        time.sleep(spec.hang_seconds)
+        raise ConvergenceError("injected hang elapsed without being killed")
+    # mode == "allocate": grow until the rlimit (or the safety valve) bites.
+    hoard = []
+    chunk = 16 * 2 ** 20  # 16 MiB of float64 per step
+    while sum(block.nbytes for block in hoard) < spec.allocate_limit_bytes:
+        hoard.append(np.ones(chunk // 8, dtype=np.float64))
+    raise MemoryError(
+        "injected allocation reached the safety valve "
+        f"({spec.allocate_limit_bytes} bytes) without hitting a limit"
+    )
+
+
+class inject_fault:
+    """Context manager: make a registered algorithm misbehave on demand.
+
+    Swaps the algorithm's registry entry for a subclass whose
+    ``_similarity`` fires the :class:`FaultSpec` on triggering calls and
+    defers to the real implementation otherwise.  The original class is
+    restored (and the call count cleared) on exit, even on error.
+    """
+
+    def __init__(self, algorithm_name: str, spec: FaultSpec):
+        self.key = algorithm_name.lower()
+        self.spec = spec
+        self._original = None
+
+    def __enter__(self) -> FaultHandle:
+        if self.key not in ALGORITHM_REGISTRY:
+            raise ExperimentError(
+                f"cannot inject fault into unknown algorithm {self.key!r}"
+            )
+        self._original = ALGORITHM_REGISTRY[self.key]
+        _CALL_COUNTS[self.key] = 0
+        key, spec, original = self.key, self.spec, self._original
+
+        class _Faulty(original):
+            def _similarity(self, source, target, rng):
+                _CALL_COUNTS[key] = _CALL_COUNTS.get(key, 0) + 1
+                if spec.triggers(_CALL_COUNTS[key]):
+                    _fire(spec)
+                return super()._similarity(source, target, rng)
+
+        _Faulty.__name__ = f"Faulty{original.__name__}"
+        ALGORITHM_REGISTRY[self.key] = _Faulty
+        return FaultHandle(self.key)
+
+    def __exit__(self, *exc_info) -> None:
+        if self._original is not None:
+            ALGORITHM_REGISTRY[self.key] = self._original
+            self._original = None
+        _CALL_COUNTS.pop(self.key, None)

@@ -8,7 +8,10 @@ a self-contained stand-in.)
 
 * :mod:`repro.harness.config` — experiment configuration and size profiles,
 * :mod:`repro.harness.runner` — executing (algorithm × instance) cells,
-* :mod:`repro.harness.results` — the record table, aggregation, reports.
+* :mod:`repro.harness.results` — the record table, aggregation, reports,
+* :mod:`repro.harness.journal` — crash-tolerant write-ahead journal/resume,
+* :mod:`repro.harness.budget` — per-cell time+memory budgets (child procs),
+* :mod:`repro.harness.retry` — retry policy for transient cell failures.
 """
 
 from repro.harness.config import (
@@ -17,7 +20,15 @@ from repro.harness.config import (
     Profile,
     active_profile,
 )
-from repro.harness.runner import run_cell, run_experiment, run_on_pair
+from repro.harness.budget import CellBudget, run_cell_with_budget
+from repro.harness.journal import RunJournal, cell_key, config_fingerprint
+from repro.harness.retry import RetryPolicy, run_with_retry
+from repro.harness.runner import (
+    cell_seed,
+    run_cell,
+    run_experiment,
+    run_on_pair,
+)
 from repro.harness.results import ResultTable, RunRecord
 from repro.harness.asciiplot import line_plot
 from repro.harness.timeout import run_cell_with_timeout
@@ -32,6 +43,14 @@ __all__ = [
     "run_on_pair",
     "run_cell",
     "run_experiment",
+    "cell_seed",
+    "cell_key",
+    "config_fingerprint",
+    "RunJournal",
+    "CellBudget",
+    "run_cell_with_budget",
+    "RetryPolicy",
+    "run_with_retry",
     "RunRecord",
     "ResultTable",
     "line_plot",

@@ -1,0 +1,206 @@
+"""Per-cell time and memory budgets with a hardened child lifecycle.
+
+The paper gives every run 3 hours and 256 GB and reports nothing for
+cells that exceed either (Table 3's ✗ marks).  This module enforces both
+for real: a cell runs in a child process that
+
+* has its address space capped with ``resource.setrlimit`` so an
+  over-budget allocation surfaces as a ``MemoryError`` → failed record
+  rather than taking down the machine,
+* is terminated at the wall-clock deadline with a ``SIGTERM`` →
+  ``join(grace)`` → ``SIGKILL`` escalation, so even a child wedged in a
+  C-level loop (a runaway LAPACK call ignores Python-level signals)
+  cannot survive and stall the sweep,
+* may die abnormally (OOM-killed, segfault, rlimit SIGKILL) without
+  hanging the parent: a closed pipe is detected and reported as a failed
+  record carrying the child's exit code.
+
+Every failure mode yields a :class:`RunRecord` with ``failed=True`` —
+the sweep always continues, exactly like the paper's missing lines.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.exceptions import ExperimentError
+from repro.harness.results import RunRecord
+from repro.noise import GraphPair
+
+__all__ = ["CellBudget", "run_cell_with_budget"]
+
+
+@dataclass(frozen=True)
+class CellBudget:
+    """Resource allowance for one experiment cell.
+
+    Attributes
+    ----------
+    time_seconds:
+        Wall-clock deadline (the paper: 3 h).
+    memory_bytes:
+        Address-space cap applied in the child via ``RLIMIT_AS``
+        (the paper: 256 GB); ``None`` leaves memory unlimited.
+    grace_seconds:
+        How long a terminated child gets to exit before ``SIGKILL``.
+    """
+
+    time_seconds: float
+    memory_bytes: Optional[int] = None
+    grace_seconds: float = 2.0
+
+    def __post_init__(self):
+        if self.time_seconds <= 0:
+            raise ExperimentError(
+                f"timeout must be positive, got {self.time_seconds}"
+            )
+        if self.memory_bytes is not None and self.memory_bytes <= 0:
+            raise ExperimentError(
+                f"memory budget must be positive, got {self.memory_bytes}"
+            )
+        if self.grace_seconds < 0:
+            raise ExperimentError(
+                f"grace must be >= 0, got {self.grace_seconds}"
+            )
+
+
+def _apply_memory_limit(memory_bytes: int) -> None:
+    """Cap the child's address space; best-effort on exotic platforms."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX; budget degrades to time-only
+        return
+    try:
+        resource.setrlimit(resource.RLIMIT_AS, (memory_bytes, memory_bytes))
+    except (ValueError, OSError):
+        # Lowering below current usage or a platform refusing RLIMIT_AS;
+        # time enforcement still applies.
+        pass
+
+
+def _child(connection, algorithm_name, pair, assignment, measures, seed,
+           algorithm_params, track_memory, memory_bytes):
+    """Child-process body: apply limits, run the cell, ship the record."""
+    if memory_bytes is not None:
+        _apply_memory_limit(memory_bytes)
+    from repro.harness.runner import run_cell
+    try:
+        record = run_cell(
+            algorithm_name, pair, dataset="", repetition=0,
+            assignment=assignment, measures=measures, seed=seed,
+            track_memory=track_memory, algorithm_params=algorithm_params,
+        )
+        connection.send(record)
+    except BaseException as exc:  # never let the child die silently
+        try:
+            connection.send(exc)
+        except Exception:
+            # Even the exception may be unpicklable or too large to send
+            # (e.g. MemoryError under a tight rlimit); the parent's
+            # dead-child path reports the exit code instead.
+            pass
+    finally:
+        connection.close()
+
+
+def _stop_child(process, grace_seconds: float) -> None:
+    """terminate → join(grace) → kill escalation; always reaps the child."""
+    process.terminate()
+    process.join(grace_seconds)
+    if process.is_alive():
+        process.kill()
+        process.join()
+
+
+def _failed(algorithm_name, pair, dataset, repetition, assignment,
+            error, similarity_time=0.0) -> RunRecord:
+    return RunRecord(
+        algorithm=algorithm_name,
+        dataset=dataset,
+        noise_type=pair.noise_type,
+        noise_level=pair.noise_level,
+        repetition=repetition,
+        assignment=assignment,
+        measures={},
+        similarity_time=similarity_time,
+        assignment_time=0.0,
+        failed=True,
+        error=error,
+    )
+
+
+def run_cell_with_budget(
+    algorithm_name: str,
+    pair: GraphPair,
+    dataset: str,
+    repetition: int,
+    budget: CellBudget,
+    assignment: str = "jv",
+    measures: Sequence[str] = ("accuracy", "s3", "mnc"),
+    seed: int = 0,
+    track_memory: bool = False,
+    algorithm_params: Optional[Dict] = None,
+) -> RunRecord:
+    """Run one cell in a child process under a :class:`CellBudget`.
+
+    Returns the child's :class:`RunRecord` on success, or a failed record
+    whose ``error`` names the breakdown: ``"timeout after ...s"`` past the
+    deadline, the ``MemoryError`` the rlimit provoked, or ``"child process
+    died without result (exit code ...)"`` for abnormal deaths.
+    """
+    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() \
+        else mp.get_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(
+        target=_child,
+        args=(child_conn, algorithm_name, pair, assignment, tuple(measures),
+              seed, algorithm_params, track_memory, budget.memory_bytes),
+    )
+    process.start()
+    child_conn.close()
+    try:
+        if not parent_conn.poll(budget.time_seconds):
+            _stop_child(process, budget.grace_seconds)
+            return _failed(
+                algorithm_name, pair, dataset, repetition, assignment,
+                error=f"timeout after {budget.time_seconds}s",
+                similarity_time=budget.time_seconds,
+            )
+        try:
+            payload = parent_conn.recv()
+        except (EOFError, OSError):
+            # The child closed the pipe (or died) without sending: an
+            # OOM kill, a segfault, or an exit inside native code.
+            process.join()
+            code = process.exitcode
+            return _failed(
+                algorithm_name, pair, dataset, repetition, assignment,
+                error=f"child process died without result (exit code {code})",
+            )
+    finally:
+        parent_conn.close()
+        if process.is_alive():
+            _stop_child(process, budget.grace_seconds)
+
+    if isinstance(payload, BaseException):
+        return _failed(
+            algorithm_name, pair, dataset, repetition, assignment,
+            error=f"{type(payload).__name__}: {payload}",
+        )
+    # Re-tag the child's record with the caller's dataset/repetition.
+    return RunRecord(
+        algorithm=payload.algorithm,
+        dataset=dataset,
+        noise_type=payload.noise_type,
+        noise_level=payload.noise_level,
+        repetition=repetition,
+        assignment=payload.assignment,
+        measures=payload.measures,
+        similarity_time=payload.similarity_time,
+        assignment_time=payload.assignment_time,
+        peak_memory_bytes=payload.peak_memory_bytes,
+        failed=payload.failed,
+        error=payload.error,
+    )

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.exceptions import ExperimentError
+from repro.harness.budget import CellBudget
+from repro.harness.retry import RetryPolicy
 
 __all__ = ["Profile", "PROFILES", "active_profile", "ExperimentConfig"]
 
@@ -31,6 +33,15 @@ class Profile:
     scalability_exponents: Tuple[int, ...]     # log2 node counts (paper: 10..16)
     scalability_degrees: Tuple[int, ...]       # avg degrees (paper: 10..10^4)
     time_budget_seconds: float                 # per-cell allowance (paper: 3 h)
+    memory_budget_bytes: Optional[int] = None  # per-cell cap (paper: 256 GB)
+
+    def cell_budget(self, grace_seconds: float = 2.0) -> CellBudget:
+        """This profile's time+memory allowance as a :class:`CellBudget`."""
+        return CellBudget(
+            time_seconds=self.time_budget_seconds,
+            memory_bytes=self.memory_budget_bytes,
+            grace_seconds=grace_seconds,
+        )
 
 
 PROFILES: Dict[str, Profile] = {
@@ -44,6 +55,7 @@ PROFILES: Dict[str, Profile] = {
         scalability_exponents=(7, 8, 9, 10),
         scalability_degrees=(10, 32, 100),
         time_budget_seconds=120.0,
+        memory_budget_bytes=4 * 2 ** 30,
     ),
     "medium": Profile(
         name="medium",
@@ -55,6 +67,7 @@ PROFILES: Dict[str, Profile] = {
         scalability_exponents=(8, 9, 10, 11),
         scalability_degrees=(10, 100, 320),
         time_budget_seconds=600.0,
+        memory_budget_bytes=16 * 2 ** 30,
     ),
     "full": Profile(
         name="full",
@@ -66,6 +79,7 @@ PROFILES: Dict[str, Profile] = {
         scalability_exponents=(10, 11, 12, 13, 14),
         scalability_degrees=(10, 100, 1000),
         time_budget_seconds=10800.0,
+        memory_budget_bytes=256 * 2 ** 30,
     ),
 }
 
@@ -100,6 +114,8 @@ class ExperimentConfig:
     seed: int = 0
     track_memory: bool = False
     algorithm_params: Dict[str, dict] = field(default_factory=dict)
+    budget: Optional[CellBudget] = None       # run cells in capped children
+    retry_policy: Optional[RetryPolicy] = None  # re-attempt transient fails
 
     def __post_init__(self):
         if not self.algorithms:

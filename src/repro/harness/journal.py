@@ -1,0 +1,206 @@
+"""Write-ahead journal for resumable experiment sweeps.
+
+The paper's Table-3 bookkeeping ("does each algorithm finish within
+3 hours / 256 GB") presumes sweeps that survive individual breakdowns.
+This module makes the sweep itself crash-tolerant: every completed
+:class:`~repro.harness.results.RunRecord` is appended to a JSON-lines
+file *before* the sweep moves on, so killing the process at any point
+loses at most the cell in flight.  Re-running the same experiment with
+the same journal path skips every journaled cell and finishes the rest.
+
+Format — one JSON object per line:
+
+* an optional header line ``{"kind": "header", "version": 1,
+  "fingerprint": ...}`` pinning the experiment configuration, so a
+  journal cannot silently be resumed with different settings;
+* record lines ``{"kind": "record", "key": ..., "record": {...}}``
+  where ``key`` identifies the (dataset × noise type × level ×
+  repetition × algorithm) cell and ``record`` is
+  :meth:`RunRecord.to_dict` output.
+
+A crash mid-append leaves a truncated last line; on open the journal
+drops it (the cell simply reruns) and truncates the file back to the
+last complete line before appending again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.exceptions import ExperimentError
+from repro.harness.results import RunRecord
+
+__all__ = ["cell_key", "config_fingerprint", "RunJournal"]
+
+_FORMAT_VERSION = 1
+
+
+def cell_key(dataset: str, noise_type: str, noise_level: float,
+             repetition: int, algorithm: str) -> str:
+    """Canonical identity of one sweep cell, stable across processes.
+
+    Noise levels are printed with fixed precision so float formatting
+    differences can never split one logical cell into two keys.
+    """
+    return "|".join((
+        str(dataset),
+        str(noise_type),
+        f"{float(noise_level):.6f}",
+        str(int(repetition)),
+        str(algorithm),
+    ))
+
+
+def config_fingerprint(config) -> str:
+    """Stable digest of an :class:`ExperimentConfig`'s identity.
+
+    Covers every axis that changes which cells a sweep contains or how
+    they are seeded; deliberately excludes execution knobs (budgets,
+    retries, memory tracking) so hardening a rerun does not orphan an
+    existing journal.
+    """
+    payload = {
+        "name": config.name,
+        "algorithms": list(config.algorithms),
+        "assignment": config.assignment,
+        "noise_types": list(config.noise_types),
+        "noise_levels": [f"{float(l):.6f}" for l in config.noise_levels],
+        "repetitions": int(config.repetitions),
+        "measures": list(config.measures),
+        "seed": int(config.seed),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode("utf-8"),
+                           digest_size=16).hexdigest()
+
+
+class RunJournal:
+    """Append-only JSONL journal of completed sweep cells.
+
+    Open it on a fresh path to start journaling; open it on an existing
+    path to resume — previously journaled records are available through
+    :meth:`get` / :attr:`records` and membership tests, and new appends
+    continue the same file.  Every append is flushed and fsynced before
+    returning, making the journal a true write-ahead log.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 fingerprint: Optional[str] = None):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._records: Dict[str, RunRecord] = {}
+        self._handle = None
+        self._load()
+
+    # -- loading -----------------------------------------------------------
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        raw = self.path.read_bytes()
+        good_bytes = 0
+        header_seen = False
+        for line in raw.splitlines(keepends=True):
+            if not line.endswith(b"\n"):
+                break  # truncated trailing line from a crash mid-append
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                break  # corrupt tail; keep only the prefix before it
+            good_bytes += len(line)
+            kind = entry.get("kind")
+            if kind == "header" and not header_seen:
+                header_seen = True
+                self._check_header(entry)
+            elif kind == "record":
+                record = RunRecord.from_dict(entry["record"])
+                self._records[entry["key"]] = record
+        if good_bytes < len(raw):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_bytes)
+
+    def _check_header(self, entry: Dict) -> None:
+        theirs = entry.get("fingerprint")
+        if (self.fingerprint is not None and theirs is not None
+                and theirs != self.fingerprint):
+            raise ExperimentError(
+                f"journal {self.path} was written for a different experiment "
+                f"configuration (fingerprint {theirs} != {self.fingerprint}); "
+                "use a fresh journal path or the original configuration"
+            )
+        if self.fingerprint is None:
+            self.fingerprint = theirs
+
+    # -- writing -----------------------------------------------------------
+
+    def _ensure_open(self):
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if fresh:
+                self._write_line({
+                    "kind": "header",
+                    "version": _FORMAT_VERSION,
+                    "fingerprint": self.fingerprint,
+                })
+        return self._handle
+
+    def _write_line(self, entry: Dict) -> None:
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append(self, key: str, record: RunRecord) -> None:
+        """Durably journal one completed cell (idempotent per key)."""
+        if key in self._records:
+            return
+        self._ensure_open()
+        self._write_line({
+            "kind": "record",
+            "key": key,
+            "record": record.to_dict(),
+        })
+        self._records[key] = record
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- reading -----------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, key: str) -> Optional[RunRecord]:
+        return self._records.get(key)
+
+    @property
+    def keys(self) -> List[str]:
+        return list(self._records)
+
+    @property
+    def records(self) -> List[RunRecord]:
+        return list(self._records.values())
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self._records.values())
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"RunJournal({str(self.path)!r}, {len(self)} records)"

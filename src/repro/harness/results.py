@@ -35,6 +35,25 @@ class RunRecord:
     peak_memory_bytes: int = 0
     failed: bool = False
     error: str = ""
+    attempts: int = 1
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable dict (the journal's on-disk form)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunRecord":
+        """Rebuild a record from :meth:`to_dict` output.
+
+        Unknown keys are ignored so journals written by newer versions of
+        the package still load.
+        """
+        names = {f.name for f in cls.__dataclass_fields__.values()}
+        kept = {key: value for key, value in data.items() if key in names}
+        kept["measures"] = {
+            str(k): float(v) for k, v in dict(kept.get("measures", {})).items()
+        }
+        return cls(**kept)
 
     def value(self, key: str) -> float:
         """A measure by name, or one of the timing/memory pseudo-measures."""
@@ -119,7 +138,8 @@ class ResultTable:
         measure_keys = sorted({k for r in self._records for k in r.measures})
         fixed = ["algorithm", "dataset", "noise_type", "noise_level",
                  "repetition", "assignment", "similarity_time",
-                 "assignment_time", "peak_memory_bytes", "failed", "error"]
+                 "assignment_time", "peak_memory_bytes", "failed", "error",
+                 "attempts"]
         with open(path, "w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(fixed + measure_keys)

@@ -1,0 +1,100 @@
+"""Retry policy for transiently failing experiment cells.
+
+Some cell failures are deterministic (a method that cannot handle a
+disconnected graph will fail identically every time) and retrying them
+only burns budget.  Others — numerical breakdowns sensitive to the BLAS
+thread schedule, spurious non-convergence, a child killed by an external
+actor — can succeed on a second attempt.  :class:`RetryPolicy` retries
+only the error classes named as transient, with exponential backoff, and
+the final record carries the attempt count so sweeps remain auditable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Tuple
+
+from repro.exceptions import ExperimentError
+from repro.harness.results import RunRecord
+
+__all__ = ["DEFAULT_TRANSIENT_ERRORS", "RetryPolicy", "run_with_retry"]
+
+# Error classes worth a second attempt by default.  Names match the
+# ``ClassName: message`` prefix run_cell writes into RunRecord.error.
+DEFAULT_TRANSIENT_ERRORS: Tuple[str, ...] = (
+    "LinAlgError",
+    "ConvergenceError",
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to re-attempt a failed cell, and for which errors.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts including the first (1 disables retrying).
+    backoff_seconds:
+        Sleep before the second attempt; grows by ``backoff_factor``
+        for each further attempt (0 disables sleeping).
+    backoff_factor:
+        Multiplier applied to the delay after every retry.
+    retry_on:
+        Exception class names considered transient.  A failed record
+        whose ``error`` starts with ``"<name>:"`` is retried; anything
+        else (timeouts, memory blowouts, unknown algorithms) fails fast.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.0
+    backoff_factor: float = 2.0
+    retry_on: Tuple[str, ...] = DEFAULT_TRANSIENT_ERRORS
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ExperimentError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_seconds < 0:
+            raise ExperimentError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.backoff_factor < 1:
+            raise ExperimentError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def is_transient(self, error: str) -> bool:
+        """Whether a record's error string names a retryable class."""
+        name = error.split(":", 1)[0].strip()
+        return name in self.retry_on
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait after the given (1-indexed) failed attempt."""
+        return self.backoff_seconds * self.backoff_factor ** (attempt - 1)
+
+
+def run_with_retry(
+    run: Callable[[int], RunRecord],
+    policy: RetryPolicy,
+    sleep: Callable[[float], None] = time.sleep,
+) -> RunRecord:
+    """Invoke ``run(attempt)`` under the policy; return the final record.
+
+    ``run`` receives the 1-indexed attempt number and must return a
+    :class:`RunRecord` (raising is the caller's bug — cell runners
+    convert failures into failed records).  The returned record's
+    ``attempts`` field is set to the number of attempts actually made.
+    """
+    record = None
+    for attempt in range(1, policy.max_attempts + 1):
+        record = run(attempt)
+        if not record.failed or not policy.is_transient(record.error):
+            break
+        if attempt < policy.max_attempts:
+            pause = policy.delay(attempt)
+            if pause > 0:
+                sleep(pause)
+    return replace(record, attempts=attempt)

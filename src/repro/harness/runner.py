@@ -12,9 +12,11 @@ The runner enforces the paper's protocol:
 
 from __future__ import annotations
 
+import hashlib
 import time
 import tracemalloc
-from typing import Callable, Dict, Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -22,11 +24,29 @@ from repro.algorithms import get_algorithm
 from repro.algorithms.base import AlignmentAlgorithm
 from repro.exceptions import ReproError
 from repro.harness.config import ExperimentConfig
+from repro.harness.journal import RunJournal, cell_key, config_fingerprint
 from repro.harness.results import ResultTable, RunRecord
+from repro.harness.retry import run_with_retry
 from repro.measures import evaluate_all
 from repro.noise import GraphPair, make_pair
 
-__all__ = ["run_on_pair", "run_cell", "run_experiment"]
+__all__ = ["cell_seed", "run_on_pair", "run_cell", "run_experiment"]
+
+
+def cell_seed(base_seed: int, dataset: str, noise_type: str,
+              noise_level: float, repetition: int) -> int:
+    """Deterministic per-cell seed, stable across processes and platforms.
+
+    Python's built-in ``hash()`` is salted per process for strings
+    (``PYTHONHASHSEED``), so it cannot key reproducible noise: two runs of
+    the same experiment would perturb different edges.  A keyed BLAKE2b
+    digest of the canonical cell coordinates gives every (dataset × noise
+    type × level × repetition) cell the same 32-bit seed in every process.
+    """
+    coords = (f"{int(base_seed)}|{dataset}|{noise_type}"
+              f"|{round(float(noise_level) * 1000)}|{int(repetition)}")
+    digest = hashlib.blake2b(coords.encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "big")
 
 
 def run_on_pair(
@@ -113,6 +133,7 @@ def run_experiment(
     graphs: Dict[str, object],
     pair_factory: Optional[Callable] = None,
     progress: Optional[Callable[[str], None]] = None,
+    journal: Optional[Union[RunJournal, str, Path]] = None,
 ) -> ResultTable:
     """Run the full (graph × noise type × level × rep × algorithm) sweep.
 
@@ -121,34 +142,91 @@ def run_experiment(
     how instances are materialized (defaults to
     :func:`repro.noise.make_pair`); temporal experiments pass pre-built
     pairs through a factory ignoring the graph argument.
+
+    ``journal`` (a :class:`RunJournal` or a path) makes the sweep
+    crash-tolerant: every completed cell is durably appended before the
+    sweep moves on, already-journaled cells are skipped on a rerun, and
+    the returned table always contains journaled and fresh records alike.
+    Execution knobs come from the config: ``config.budget`` runs each
+    cell in a resource-capped child process, ``config.retry_policy``
+    re-attempts transient failures.
     """
     factory = pair_factory or (
         lambda graph, noise_type, level, seed: make_pair(
             graph, noise_type, level, seed=seed
         )
     )
+    owns_journal = journal is not None and not isinstance(journal, RunJournal)
+    if owns_journal:
+        journal = RunJournal(journal, fingerprint=config_fingerprint(config))
+    try:
+        return _run_sweep(config, graphs, factory, progress, journal)
+    finally:
+        if owns_journal:
+            journal.close()
+
+
+def _run_sweep(config, graphs, factory, progress, journal) -> ResultTable:
     table = ResultTable()
     base_seed = int(config.seed)
     for dataset, graph in graphs.items():
         for noise_type in config.noise_types:
             for level in config.noise_levels:
                 for rep in range(config.repetitions):
-                    seed = hash((base_seed, dataset, noise_type,
-                                 round(level * 1000), rep)) % (2 ** 32)
+                    keys = {
+                        name: cell_key(dataset, noise_type, level, rep, name)
+                        for name in config.algorithms
+                    }
+                    pending = [
+                        name for name in config.algorithms
+                        if journal is None or keys[name] not in journal
+                    ]
+                    if journal is not None:
+                        for name in config.algorithms:
+                            if name not in pending:
+                                table.add(journal.get(keys[name]))
+                    if not pending:
+                        continue  # whole instance journaled: skip the pair
+                    seed = cell_seed(base_seed, dataset, noise_type,
+                                     level, rep)
                     pair = factory(graph, noise_type, level, seed)
-                    for name in config.algorithms:
+                    for name in pending:
                         if progress is not None:
                             progress(
                                 f"{dataset} {noise_type} {level:.2f} "
                                 f"rep{rep} {name}"
                             )
-                        record = run_cell(
-                            name, pair, dataset, rep,
-                            assignment=config.assignment,
-                            measures=config.measures,
-                            seed=seed,
-                            track_memory=config.track_memory,
-                            algorithm_params=config.algorithm_params.get(name),
-                        )
+                        record = _execute_cell(config, name, pair,
+                                               dataset, rep, seed)
                         table.add(record)
+                        if journal is not None:
+                            journal.append(keys[name], record)
     return table
+
+
+def _execute_cell(config: ExperimentConfig, name: str, pair: GraphPair,
+                  dataset: str, rep: int, seed: int) -> RunRecord:
+    """One cell under the config's budget and retry policy."""
+    def attempt(_attempt_number: int) -> RunRecord:
+        if config.budget is not None:
+            from repro.harness.budget import run_cell_with_budget
+            return run_cell_with_budget(
+                name, pair, dataset, rep, config.budget,
+                assignment=config.assignment,
+                measures=config.measures,
+                seed=seed,
+                track_memory=config.track_memory,
+                algorithm_params=config.algorithm_params.get(name),
+            )
+        return run_cell(
+            name, pair, dataset, rep,
+            assignment=config.assignment,
+            measures=config.measures,
+            seed=seed,
+            track_memory=config.track_memory,
+            algorithm_params=config.algorithm_params.get(name),
+        )
+
+    if config.retry_policy is not None:
+        return run_with_retry(attempt, config.retry_policy)
+    return attempt(1)

@@ -6,38 +6,23 @@ cheaply; this module provides the real thing — running an alignment in a
 child process and killing it at the deadline — for the ``full`` profile and
 for user experiments where a misbehaving algorithm must not wedge a sweep.
 
-The child communicates through a ``multiprocessing`` pipe, so algorithm
-parameters and the graph pair must be picklable (everything in this
-package is).
+:func:`run_cell_with_timeout` is a thin front over
+:func:`repro.harness.budget.run_cell_with_budget`, which hardens the child
+lifecycle (terminate → kill escalation, abnormal-death detection) and can
+additionally cap the child's memory.  The child communicates through a
+``multiprocessing`` pipe, so algorithm parameters and the graph pair must
+be picklable (everything in this package is).
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 from typing import Dict, Optional, Sequence
 
-from repro.exceptions import ExperimentError
+from repro.harness.budget import CellBudget, run_cell_with_budget
 from repro.harness.results import RunRecord
 from repro.noise import GraphPair
 
 __all__ = ["run_cell_with_timeout"]
-
-
-def _child(connection, algorithm_name, pair, assignment, measures, seed,
-           algorithm_params):
-    """Child-process body: run the cell and ship the record back."""
-    from repro.harness.runner import run_cell
-    try:
-        record = run_cell(
-            algorithm_name, pair, dataset="", repetition=0,
-            assignment=assignment, measures=measures, seed=seed,
-            algorithm_params=algorithm_params,
-        )
-        connection.send(record)
-    except BaseException as exc:  # never let the child die silently
-        connection.send(exc)
-    finally:
-        connection.close()
 
 
 def run_cell_with_timeout(
@@ -50,75 +35,25 @@ def run_cell_with_timeout(
     measures: Sequence[str] = ("accuracy", "s3", "mnc"),
     seed: int = 0,
     algorithm_params: Optional[Dict] = None,
+    memory_limit_bytes: Optional[int] = None,
+    grace_seconds: float = 2.0,
 ) -> RunRecord:
     """Run one cell in a child process, killed at ``timeout_seconds``.
 
     Returns the child's :class:`RunRecord` on success, or a failed record
     with error ``"timeout after ...s"`` when the deadline passes — exactly
-    how the paper's missing lines arise.
+    how the paper's missing lines arise.  A child that dies abnormally
+    (segfault, OOM kill) yields a failed record carrying its exit code
+    instead of hanging the sweep; ``memory_limit_bytes`` optionally caps
+    the child's address space as well.
     """
-    if timeout_seconds <= 0:
-        raise ExperimentError(
-            f"timeout must be positive, got {timeout_seconds}"
-        )
-    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() \
-        else mp.get_context()
-    parent_conn, child_conn = ctx.Pipe(duplex=False)
-    process = ctx.Process(
-        target=_child,
-        args=(child_conn, algorithm_name, pair, assignment, tuple(measures),
-              seed, algorithm_params),
+    budget = CellBudget(
+        time_seconds=timeout_seconds,
+        memory_bytes=memory_limit_bytes,
+        grace_seconds=grace_seconds,
     )
-    process.start()
-    child_conn.close()
-
-    timed_out = not parent_conn.poll(timeout_seconds)
-    if timed_out:
-        process.terminate()
-        process.join()
-        parent_conn.close()
-        return RunRecord(
-            algorithm=algorithm_name,
-            dataset=dataset,
-            noise_type=pair.noise_type,
-            noise_level=pair.noise_level,
-            repetition=repetition,
-            assignment=assignment,
-            measures={},
-            similarity_time=timeout_seconds,
-            assignment_time=0.0,
-            failed=True,
-            error=f"timeout after {timeout_seconds}s",
-        )
-    payload = parent_conn.recv()
-    process.join()
-    parent_conn.close()
-    if isinstance(payload, BaseException):
-        return RunRecord(
-            algorithm=algorithm_name,
-            dataset=dataset,
-            noise_type=pair.noise_type,
-            noise_level=pair.noise_level,
-            repetition=repetition,
-            assignment=assignment,
-            measures={},
-            similarity_time=0.0,
-            assignment_time=0.0,
-            failed=True,
-            error=f"{type(payload).__name__}: {payload}",
-        )
-    # Re-tag the child's record with the caller's dataset/repetition.
-    return RunRecord(
-        algorithm=payload.algorithm,
-        dataset=dataset,
-        noise_type=payload.noise_type,
-        noise_level=payload.noise_level,
-        repetition=repetition,
-        assignment=payload.assignment,
-        measures=payload.measures,
-        similarity_time=payload.similarity_time,
-        assignment_time=payload.assignment_time,
-        peak_memory_bytes=payload.peak_memory_bytes,
-        failed=payload.failed,
-        error=payload.error,
+    return run_cell_with_budget(
+        algorithm_name, pair, dataset, repetition, budget,
+        assignment=assignment, measures=measures, seed=seed,
+        algorithm_params=algorithm_params,
     )

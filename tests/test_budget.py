@@ -1,0 +1,147 @@
+"""Tests for per-cell time+memory budgets and the hardened child runner."""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import (
+    ALGORITHM_REGISTRY,
+    AlgorithmInfo,
+    AlignmentAlgorithm,
+    register_algorithm,
+)
+from repro.exceptions import ExperimentError
+from repro.graphs import powerlaw_cluster_graph
+from repro.harness import (
+    PROFILES,
+    CellBudget,
+    run_cell_with_budget,
+    run_cell_with_timeout,
+)
+from repro.noise import make_pair
+
+PAIR = make_pair(powerlaw_cluster_graph(40, 3, 0.3, seed=71), "one-way",
+                 0.0, seed=72)
+
+GIB = 2 ** 30
+
+
+def _info(name):
+    return AlgorithmInfo(
+        name=name, year=2026, preprocessing="no", biological=False,
+        default_assignment="jv", optimizes="any", time_complexity="O(?)",
+        parameters={},
+    )
+
+
+class _Hog(AlignmentAlgorithm):
+    """Allocates far past any sane budget (~4 GiB) before returning."""
+
+    info = _info("_hog")
+
+    def _similarity(self, source, target, rng):
+        hoard = []
+        for _ in range(256):
+            hoard.append(np.ones((16 * 2 ** 20,), dtype=np.float64))
+        return np.ones((source.num_nodes, target.num_nodes))
+
+
+class _SuddenDeath(AlignmentAlgorithm):
+    """Exits the process abruptly — the pipe closes with nothing sent."""
+
+    info = _info("_suddendeath")
+
+    def _similarity(self, source, target, rng):
+        os._exit(7)
+
+
+class _Unkillable(AlignmentAlgorithm):
+    """Ignores SIGTERM, like a child wedged in a C-level loop."""
+
+    info = _info("_unkillable")
+
+    def _similarity(self, source, target, rng):
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        time.sleep(600)
+        return np.ones((source.num_nodes, target.num_nodes))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _register_misbehavers():
+    for cls in (_Hog, _SuddenDeath, _Unkillable):
+        register_algorithm(cls)
+    yield
+    for cls in (_Hog, _SuddenDeath, _Unkillable):
+        ALGORITHM_REGISTRY.pop(cls.info.name, None)
+
+
+class TestCellBudgetValidation:
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ExperimentError):
+            CellBudget(time_seconds=0)
+
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(ExperimentError):
+            CellBudget(time_seconds=1, memory_bytes=0)
+
+    def test_rejects_negative_grace(self):
+        with pytest.raises(ExperimentError):
+            CellBudget(time_seconds=1, grace_seconds=-1)
+
+    def test_profile_budgets(self):
+        budget = PROFILES["full"].cell_budget()
+        assert budget.time_seconds == 10800.0
+        assert budget.memory_bytes == 256 * GIB  # the paper's machine
+
+
+class TestBudgetRunner:
+    def test_cell_within_budget_succeeds(self):
+        budget = CellBudget(time_seconds=60, memory_bytes=4 * GIB)
+        record = run_cell_with_budget("isorank", PAIR, "pl", 2, budget)
+        assert not record.failed
+        assert record.dataset == "pl"
+        assert record.repetition == 2
+        assert "accuracy" in record.measures
+
+    def test_memory_cap_reported_as_failed_record(self):
+        budget = CellBudget(time_seconds=120, memory_bytes=1 * GIB)
+        record = run_cell_with_budget("_hog", PAIR, "pl", 0, budget)
+        assert record.failed
+        # Either numpy raised MemoryError cleanly inside the child, or the
+        # child died under the cap; both are the paper's ✗, not a crash.
+        assert "MemoryError" in record.error or "died" in record.error
+
+    def test_dead_child_yields_exit_code_record(self):
+        budget = CellBudget(time_seconds=60)
+        record = run_cell_with_budget("_suddendeath", PAIR, "pl", 0, budget)
+        assert record.failed
+        assert "died without result" in record.error
+        assert "7" in record.error
+
+    def test_sigterm_immune_child_is_killed(self):
+        budget = CellBudget(time_seconds=1.0, grace_seconds=0.5)
+        start = time.monotonic()
+        record = run_cell_with_budget("_unkillable", PAIR, "pl", 0, budget)
+        elapsed = time.monotonic() - start
+        assert record.failed
+        assert "timeout" in record.error
+        # terminate -> grace -> kill, not the child's 600 s sleep.
+        assert elapsed < 30
+
+
+class TestTimeoutCompatibility:
+    def test_timeout_front_accepts_memory_limit(self):
+        record = run_cell_with_timeout("_hog", PAIR, "pl", 0,
+                                       timeout_seconds=120,
+                                       memory_limit_bytes=1 * GIB)
+        assert record.failed
+        assert "MemoryError" in record.error or "died" in record.error
+
+    def test_timeout_front_reports_dead_child(self):
+        record = run_cell_with_timeout("_suddendeath", PAIR, "pl", 0,
+                                       timeout_seconds=60)
+        assert record.failed
+        assert "died without result" in record.error

@@ -92,6 +92,46 @@ class TestExperimentCommand:
             _run(["experiment", "--dataset", "nope",
                   "--algorithms", "isorank"])
 
+    def test_journal_flag_resumes(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        argv = [
+            "experiment", "--dataset", "ca-netscience",
+            "--algorithms", "isorank",
+            "--levels", "0", "--reps", "1", "--scale", "0.3",
+            "--journal", str(journal),
+        ]
+        code, text = _run(argv)
+        assert code == 0
+        assert journal.exists()
+        assert "journal" in text
+        size_after_first = journal.stat().st_size
+        # Rerunning the identical command replays from the journal and
+        # appends nothing new.
+        code, text = _run(argv)
+        assert code == 0
+        assert "isorank" in text
+        assert journal.stat().st_size == size_after_first
+
+    def test_memory_limit_requires_timeout(self):
+        code, text = _run([
+            "experiment", "--dataset", "ca-netscience",
+            "--algorithms", "isorank",
+            "--levels", "0", "--reps", "1", "--scale", "0.3",
+            "--memory-limit-mb", "512",
+        ])
+        assert code == 2
+        assert "--timeout" in text
+
+    def test_timeout_flag_runs_cells_in_children(self):
+        code, text = _run([
+            "experiment", "--dataset", "ca-netscience",
+            "--algorithms", "isorank",
+            "--levels", "0", "--reps", "1", "--scale", "0.3",
+            "--timeout", "120", "--retries", "2",
+        ])
+        assert code == 0
+        assert "isorank" in text
+
 
 class TestTuneCommand:
     def test_single_param_sweep(self):

@@ -5,6 +5,8 @@ memory blowout, or misconfiguration must become a failed record (a missing
 point in a figure), not a dead experiment.
 """
 
+import tracemalloc
+
 import numpy as np
 import pytest
 
@@ -14,7 +16,7 @@ from repro.algorithms.base import (
     AlignmentAlgorithm,
     register_algorithm,
 )
-from repro.exceptions import AlgorithmError, ConvergenceError
+from repro.exceptions import AlgorithmError, ConvergenceError, ReproError
 from repro.graphs import powerlaw_cluster_graph
 from repro.harness import ExperimentConfig, run_cell, run_experiment
 from repro.noise import make_pair
@@ -64,6 +66,46 @@ class TestRunCellFailureCapture:
         register_algorithm(_make_failing("_fail-type", TypeError("bug")))
         with pytest.raises(TypeError):
             run_cell("_fail-type", PAIR, "pl", 0)
+
+    @pytest.mark.parametrize("exc", [
+        MemoryError("256Gb exceeded"),
+        np.linalg.LinAlgError("singular matrix"),
+        ReproError("generic library failure"),
+    ])
+    def test_failed_record_fields_populated(self, exc):
+        """Each caught class yields a complete, well-formed failed record."""
+        name = f"_fail-fields-{type(exc).__name__.lower()}"
+        register_algorithm(_make_failing(name, exc))
+        record = run_cell(name, PAIR, "pl", 3)
+        assert record.failed
+        assert record.error.startswith(type(exc).__name__ + ":")
+        assert str(exc) in record.error
+        assert record.measures == {}
+        assert record.dataset == "pl"
+        assert record.repetition == 3
+        assert record.noise_type == PAIR.noise_type
+
+    @pytest.mark.parametrize("exc", [
+        MemoryError("blowout"),
+        np.linalg.LinAlgError("singular"),
+        ConvergenceError("stuck"),
+    ])
+    def test_tracemalloc_stopped_after_failure(self, exc):
+        """A failing cell must not leak memory tracing into later cells
+        (which would both slow them down and corrupt their peaks)."""
+        name = f"_fail-trace-{type(exc).__name__.lower()}"
+        register_algorithm(_make_failing(name, exc))
+        assert not tracemalloc.is_tracing()
+        record = run_cell(name, PAIR, "pl", 0, track_memory=True)
+        assert record.failed
+        assert not tracemalloc.is_tracing()
+
+    def test_tracemalloc_stopped_after_success(self):
+        assert not tracemalloc.is_tracing()
+        record = run_cell("isorank", PAIR, "pl", 0, track_memory=True)
+        assert not record.failed
+        assert record.peak_memory_bytes > 0
+        assert not tracemalloc.is_tracing()
 
 
 class TestSweepContinuesPastFailures:

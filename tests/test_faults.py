@@ -1,0 +1,165 @@
+"""Fault-injection suite: the sweep survives every induced failure mode.
+
+Acceptance: with faults injected into a registered algorithm, a sweep
+completes end-to-end with correct failed-record accounting under each
+mode — raise, hang-past-timeout, and over-budget allocation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import ALGORITHM_REGISTRY
+from repro.exceptions import ConvergenceError, ExperimentError
+from repro.faults import FaultSpec, inject_fault
+from repro.graphs import powerlaw_cluster_graph
+from repro.harness import (
+    CellBudget,
+    ExperimentConfig,
+    RetryPolicy,
+    run_cell,
+    run_cell_with_budget,
+    run_experiment,
+)
+from repro.noise import make_pair
+
+GRAPH = powerlaw_cluster_graph(40, 3, 0.3, seed=41)
+PAIR = make_pair(GRAPH, "one-way", 0.0, seed=42)
+
+GIB = 2 ** 30
+
+
+class TestInjectFault:
+    def test_raise_mode(self):
+        with inject_fault("isorank", FaultSpec(mode="raise")):
+            record = run_cell("isorank", PAIR, "pl", 0)
+        assert record.failed
+        assert "ConvergenceError" in record.error
+
+    def test_registry_restored_after_exit(self):
+        original = ALGORITHM_REGISTRY["isorank"]
+        with inject_fault("isorank", FaultSpec(mode="raise")):
+            assert ALGORITHM_REGISTRY["isorank"] is not original
+        assert ALGORITHM_REGISTRY["isorank"] is original
+        assert not run_cell("isorank", PAIR, "pl", 0).failed
+
+    def test_registry_restored_on_error(self):
+        original = ALGORITHM_REGISTRY["isorank"]
+        with pytest.raises(RuntimeError):
+            with inject_fault("isorank", FaultSpec(mode="raise")):
+                raise RuntimeError("test body blew up")
+        assert ALGORITHM_REGISTRY["isorank"] is original
+
+    def test_nth_call_semantics(self):
+        spec = FaultSpec(mode="raise", on_call=2)
+        with inject_fault("isorank", spec) as handle:
+            first = run_cell("isorank", PAIR, "pl", 0)
+            second = run_cell("isorank", PAIR, "pl", 1)
+            third = run_cell("isorank", PAIR, "pl", 2)
+            assert handle.calls == 3
+        assert not first.failed
+        assert second.failed
+        assert not third.failed
+
+    def test_every_call_semantics(self):
+        with inject_fault("isorank", FaultSpec(mode="raise", on_call=None)):
+            assert run_cell("isorank", PAIR, "pl", 0).failed
+            assert run_cell("isorank", PAIR, "pl", 1).failed
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ExperimentError):
+            with inject_fault("no-such", FaultSpec()):
+                pass
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ExperimentError):
+            FaultSpec(mode="explode")
+        with pytest.raises(ExperimentError):
+            FaultSpec(on_call=0)
+
+
+class TestSweepSurvivesRaise:
+    def test_raising_cells_become_failed_records(self):
+        config = ExperimentConfig(
+            name="faulty", algorithms=["isorank", "nsd"],
+            noise_levels=(0.0, 0.02), repetitions=1,
+        )
+        with inject_fault("isorank", FaultSpec(mode="raise", on_call=None)):
+            table = run_experiment(config, {"pl": GRAPH})
+        assert len(table) == 4  # the sweep completed every cell
+        assert all(r.failed for r in table.filter(algorithm="isorank"))
+        assert all(not r.failed for r in table.filter(algorithm="nsd"))
+
+    def test_transient_fault_healed_by_retry(self):
+        config = ExperimentConfig(
+            name="healed", algorithms=["isorank"],
+            noise_levels=(0.0,), repetitions=1,
+            retry_policy=RetryPolicy(max_attempts=2, backoff_seconds=0.0),
+        )
+        spec = FaultSpec(mode="raise", on_call=1,
+                         exc=np.linalg.LinAlgError("injected"))
+        with inject_fault("isorank", spec):
+            table = run_experiment(config, {"pl": GRAPH})
+        (record,) = table.records
+        assert not record.failed  # second attempt succeeded
+        assert record.attempts == 2
+
+    def test_nontransient_fault_not_retried(self):
+        config = ExperimentConfig(
+            name="fatal", algorithms=["isorank"],
+            noise_levels=(0.0,), repetitions=1,
+            retry_policy=RetryPolicy(max_attempts=3),
+        )
+        spec = FaultSpec(mode="raise", on_call=None,
+                         exc=MemoryError("injected blowout"))
+        with inject_fault("isorank", spec):
+            table = run_experiment(config, {"pl": GRAPH})
+        (record,) = table.records
+        assert record.failed
+        assert record.attempts == 1
+
+
+class TestSweepSurvivesHang:
+    def test_hang_killed_at_deadline(self):
+        """A hanging cell trips the wall-clock budget, not the suite."""
+        budget = CellBudget(time_seconds=1.5, grace_seconds=0.5)
+        with inject_fault("isorank", FaultSpec(mode="hang", on_call=None)):
+            record = run_cell_with_budget("isorank", PAIR, "pl", 0, budget)
+        assert record.failed
+        assert "timeout" in record.error
+
+    def test_sweep_continues_past_hanging_algorithm(self):
+        config = ExperimentConfig(
+            name="hang", algorithms=["isorank", "nsd"],
+            noise_levels=(0.0,), repetitions=1,
+            budget=CellBudget(time_seconds=1.5, grace_seconds=0.5),
+        )
+        with inject_fault("isorank", FaultSpec(mode="hang", on_call=None)):
+            table = run_experiment(config, {"pl": GRAPH})
+        assert len(table) == 2
+        (hung,) = table.filter(algorithm="isorank").records
+        (healthy,) = table.filter(algorithm="nsd").records
+        assert hung.failed and "timeout" in hung.error
+        assert not healthy.failed
+
+
+class TestSweepSurvivesAllocation:
+    def test_unbounded_allocation_hits_memory_budget(self):
+        budget = CellBudget(time_seconds=120, memory_bytes=1 * GIB)
+        spec = FaultSpec(mode="allocate", on_call=None)
+        with inject_fault("isorank", spec):
+            record = run_cell_with_budget("isorank", PAIR, "pl", 0, budget)
+        assert record.failed
+        assert "MemoryError" in record.error or "died" in record.error
+
+    def test_sweep_accounting_with_allocation_fault(self):
+        config = ExperimentConfig(
+            name="alloc", algorithms=["isorank", "nsd"],
+            noise_levels=(0.0,), repetitions=1,
+            budget=CellBudget(time_seconds=120, memory_bytes=1 * GIB),
+        )
+        with inject_fault("isorank", FaultSpec(mode="allocate",
+                                               on_call=None)):
+            table = run_experiment(config, {"pl": GRAPH})
+        assert len(table) == 2
+        assert table.filter(algorithm="isorank").records[0].failed
+        assert not table.filter(algorithm="nsd").records[0].failed

@@ -1,0 +1,190 @@
+"""Tests for the write-ahead journal and journaled sweeps."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.graphs import powerlaw_cluster_graph
+from repro.harness import (
+    ExperimentConfig,
+    RunJournal,
+    RunRecord,
+    cell_key,
+    config_fingerprint,
+    run_experiment,
+)
+
+GRAPH = powerlaw_cluster_graph(40, 3, 0.3, seed=11)
+
+
+def _record(**overrides):
+    base = dict(
+        algorithm="isorank", dataset="pl", noise_type="one-way",
+        noise_level=0.02, repetition=0, assignment="jv",
+        measures={"accuracy": 0.9}, similarity_time=1.0,
+        assignment_time=0.5,
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+class TestCellKey:
+    def test_canonical_and_stable(self):
+        key = cell_key("arenas", "one-way", 0.05, 3, "isorank")
+        assert key == "arenas|one-way|0.050000|3|isorank"
+
+    def test_float_formatting_cannot_split_cells(self):
+        assert (cell_key("d", "t", 0.1, 0, "a")
+                == cell_key("d", "t", 0.1000000001, 0, "a"))
+
+    def test_distinct_cells_distinct_keys(self):
+        keys = {
+            cell_key("d", "t", level, rep, algo)
+            for level in (0.0, 0.01)
+            for rep in (0, 1)
+            for algo in ("a", "b")
+        }
+        assert len(keys) == 8
+
+
+class TestRunRecordRoundTrip:
+    def test_to_from_dict(self):
+        record = _record(failed=True, error="LinAlgError: boom", attempts=2)
+        clone = RunRecord.from_dict(record.to_dict())
+        assert clone == record
+
+    def test_unknown_keys_ignored(self):
+        data = _record().to_dict()
+        data["from_the_future"] = 42
+        assert RunRecord.from_dict(data) == _record()
+
+
+class TestRunJournal:
+    def test_append_and_reload(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with RunJournal(path) as journal:
+            journal.append("k1", _record())
+            journal.append("k2", _record(repetition=1))
+        reloaded = RunJournal(path)
+        assert len(reloaded) == 2
+        assert "k1" in reloaded and "k2" in reloaded
+        assert reloaded.get("k2").repetition == 1
+
+    def test_append_is_idempotent_per_key(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with RunJournal(path) as journal:
+            journal.append("k1", _record())
+            journal.append("k1", _record(repetition=9))
+        reloaded = RunJournal(path)
+        assert len(reloaded) == 1
+        assert reloaded.get("k1").repetition == 0  # first write wins
+
+    def test_truncated_tail_dropped_and_recovered(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with RunJournal(path) as journal:
+            journal.append("k1", _record())
+            journal.append("k2", _record(repetition=1))
+        # Simulate a crash mid-append: chop the last line in half.
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 30])
+        reloaded = RunJournal(path)
+        assert "k1" in reloaded and "k2" not in reloaded
+        # The journal stays appendable and well-formed after recovery.
+        reloaded.append("k2", _record(repetition=1))
+        reloaded.close()
+        for line in path.read_text().splitlines():
+            json.loads(line)
+        assert len(RunJournal(path)) == 2
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with RunJournal(path, fingerprint="aaaa") as journal:
+            journal.append("k1", _record())
+        with pytest.raises(ExperimentError):
+            RunJournal(path, fingerprint="bbbb")
+        # Same fingerprint resumes fine.
+        assert len(RunJournal(path, fingerprint="aaaa")) == 1
+
+    def test_missing_file_is_empty_journal(self, tmp_path):
+        journal = RunJournal(tmp_path / "nope.jsonl")
+        assert len(journal) == 0
+        assert journal.get("k") is None
+
+
+class TestConfigFingerprint:
+    def _config(self, **overrides):
+        base = dict(name="fp", algorithms=["isorank"], noise_levels=(0.0,),
+                    repetitions=1, seed=3)
+        base.update(overrides)
+        return ExperimentConfig(**base)
+
+    def test_stable_for_equal_configs(self):
+        assert (config_fingerprint(self._config())
+                == config_fingerprint(self._config()))
+
+    def test_sensitive_to_sweep_axes(self):
+        base = config_fingerprint(self._config())
+        assert config_fingerprint(self._config(seed=4)) != base
+        assert config_fingerprint(
+            self._config(algorithms=["isorank", "nsd"])) != base
+
+    def test_insensitive_to_execution_knobs(self):
+        from repro.harness import RetryPolicy
+        hardened = self._config(retry_policy=RetryPolicy(max_attempts=2),
+                                track_memory=True)
+        assert (config_fingerprint(hardened)
+                == config_fingerprint(self._config()))
+
+
+class TestJournaledExperiment:
+    CONFIG = dict(name="j", algorithms=["isorank", "nsd"],
+                  noise_levels=(0.0, 0.02), repetitions=1, seed=5)
+
+    def test_first_run_journals_every_cell(self, tmp_path):
+        path = tmp_path / "exp.jsonl"
+        config = ExperimentConfig(**self.CONFIG)
+        table = run_experiment(config, {"pl": GRAPH}, journal=str(path))
+        assert len(table) == 4
+        assert len(RunJournal(path)) == 4
+
+    def test_rerun_skips_journaled_cells(self, tmp_path):
+        path = tmp_path / "exp.jsonl"
+        config = ExperimentConfig(**self.CONFIG)
+        run_experiment(config, {"pl": GRAPH}, journal=str(path))
+        reran = []
+        table = run_experiment(config, {"pl": GRAPH}, journal=str(path),
+                               progress=reran.append)
+        assert reran == []  # nothing executed the second time
+        assert len(table) == 4  # but the table is still complete
+        assert all(not r.failed for r in table.records)
+
+    def test_partial_journal_runs_only_missing_cells(self, tmp_path):
+        path = tmp_path / "exp.jsonl"
+        config = ExperimentConfig(**self.CONFIG)
+        full = run_experiment(config, {"pl": GRAPH}, journal=str(path))
+        # Rebuild a journal holding only the first two cells.
+        partial = tmp_path / "partial.jsonl"
+        with RunJournal(partial) as journal:
+            for record in full.records[:2]:
+                journal.append(
+                    cell_key(record.dataset, record.noise_type,
+                             record.noise_level, record.repetition,
+                             record.algorithm),
+                    record,
+                )
+        reran = []
+        table = run_experiment(config, {"pl": GRAPH}, journal=str(partial),
+                               progress=reran.append)
+        assert len(reran) == 2
+        assert len(table) == 4
+        assert len(RunJournal(partial)) == 4
+
+    def test_config_change_rejected_on_resume(self, tmp_path):
+        path = tmp_path / "exp.jsonl"
+        run_experiment(ExperimentConfig(**self.CONFIG), {"pl": GRAPH},
+                       journal=str(path))
+        changed = dict(self.CONFIG, seed=99)
+        with pytest.raises(ExperimentError):
+            run_experiment(ExperimentConfig(**changed), {"pl": GRAPH},
+                           journal=str(path))

@@ -1,0 +1,166 @@
+"""Integration: SIGKILL a sweep mid-run, rerun, and resume from the journal.
+
+These tests drive real child Python processes (no mocking): the first run
+is hard-killed partway through — the same failure as a node crash or OOM
+kill of the orchestrator — and the rerun with the same journal path must
+finish the sweep without redoing any journaled cell.  Stable seeding is
+verified the same way: two fresh interpreters (with different
+``PYTHONHASHSEED``) must journal byte-identical cell keys and derive
+identical per-cell seeds.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.harness import cell_seed
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# Driver: runs a 4-cell sweep against a journal; optionally SIGKILLs
+# itself after N cells have completed (the progress callback fires before
+# each cell, so "count > N" means N cells finished and the N+1th is about
+# to start).  Logs every executed cell so the test can count reruns.
+DRIVER = """\
+import os, signal, sys
+from repro.graphs import powerlaw_cluster_graph
+from repro.harness import ExperimentConfig, run_experiment
+
+journal_path, kill_after = sys.argv[1], int(sys.argv[2])
+config = ExperimentConfig(
+    name="resume", algorithms=["isorank", "nsd"],
+    noise_levels=(0.0, 0.02), repetitions=1, seed=7,
+)
+graph = powerlaw_cluster_graph(40, 3, 0.3, seed=5)
+count = 0
+
+def progress(message):
+    global count
+    count += 1
+    with open(journal_path + ".log", "a") as handle:
+        handle.write(message + "\\n")
+    if kill_after and count > kill_after:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+table = run_experiment(config, {"pl": graph}, progress=progress,
+                       journal=journal_path)
+print(len(table), sum(r.failed for r in table.records))
+"""
+
+
+def _driver_env(hash_seed=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if hash_seed is not None:
+        env["PYTHONHASHSEED"] = hash_seed
+    return env
+
+
+def _run_driver(journal, kill_after, hash_seed=None):
+    return subprocess.run(
+        [sys.executable, "-c", DRIVER, str(journal), str(kill_after)],
+        capture_output=True, text=True, env=_driver_env(hash_seed),
+        timeout=300,
+    )
+
+
+def _journal_keys(path):
+    keys = []
+    for line in Path(path).read_text().splitlines():
+        entry = json.loads(line)
+        if entry.get("kind") == "record":
+            keys.append(entry["key"])
+    return keys
+
+
+class TestKillAndResume:
+    def test_sigkilled_sweep_resumes_without_rerunning(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        log = Path(str(journal) + ".log")
+
+        # First run: SIGKILL after 2 of 4 cells complete.
+        first = _run_driver(journal, kill_after=2)
+        assert first.returncode == -9  # died by SIGKILL, mid-sweep
+        survived = _journal_keys(journal)
+        assert len(survived) == 2  # exactly the completed cells are durable
+
+        # Second run: same command, same journal — must finish the sweep.
+        log.unlink()
+        second = _run_driver(journal, kill_after=0)
+        assert second.returncode == 0, second.stderr
+        total, failed = map(int, second.stdout.split())
+        assert (total, failed) == (4, 0)
+
+        # Only the two missing cells executed; the journaled two were
+        # replayed, not rerun.
+        rerun_cells = log.read_text().splitlines()
+        assert len(rerun_cells) == 2
+        final_keys = _journal_keys(journal)
+        assert len(final_keys) == 4
+        assert len(set(final_keys)) == 4
+        assert set(survived) <= set(final_keys)
+
+    def test_completed_journal_makes_rerun_a_noop(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        assert _run_driver(journal, kill_after=0).returncode == 0
+        log = Path(str(journal) + ".log")
+        log.unlink()
+        rerun = _run_driver(journal, kill_after=0)
+        assert rerun.returncode == 0, rerun.stderr
+        assert not log.exists()  # zero cells executed
+        assert rerun.stdout.split()[0] == "4"  # table still complete
+
+
+class TestStableSeeding:
+    def test_pinned_seed_values(self):
+        """Regression pin: these values must never drift across releases
+        (a drift silently changes every journal key and noise pair)."""
+        assert cell_seed(0, "arenas", "one-way", 0.0, 0) == 376471168
+        assert cell_seed(0, "arenas", "one-way", 0.05, 3) == 3551330139
+        assert cell_seed(7, "pl", "two-way", 0.01, 1) == 3344704252
+
+    def test_seed_distinguishes_every_axis(self):
+        base = cell_seed(0, "d", "t", 0.01, 0)
+        assert cell_seed(1, "d", "t", 0.01, 0) != base
+        assert cell_seed(0, "e", "t", 0.01, 0) != base
+        assert cell_seed(0, "d", "u", 0.01, 0) != base
+        assert cell_seed(0, "d", "t", 0.02, 0) != base
+        assert cell_seed(0, "d", "t", 0.01, 1) != base
+
+    def test_identical_keys_across_fresh_processes(self, tmp_path):
+        """Same config + seed → byte-identical journal cell keys, even
+        under different hash salts (the bug the stable digest fixes)."""
+        outputs = []
+        for salt, name in (("1", "a"), ("4242", "b")):
+            journal = tmp_path / f"{name}.jsonl"
+            result = _run_driver(journal, kill_after=0, hash_seed=salt)
+            assert result.returncode == 0, result.stderr
+            outputs.append(_journal_keys(journal))
+        keys_a, keys_b = outputs
+        assert keys_a == keys_b
+        assert len(keys_a) == 4
+
+
+class TestStableSeedingAcrossHashSalts:
+    def test_cell_seed_ignores_pythonhashseed(self):
+        """Two interpreters with different string-hash salts derive the
+        same per-cell seeds (``hash()`` would not)."""
+        probe = (
+            "from repro.harness import cell_seed\n"
+            "print([cell_seed(7, 'pl', 'one-way', l, r)"
+            " for l in (0.0, 0.02) for r in (0, 1)])\n"
+        )
+        outs = []
+        for salt in ("1", "12345"):
+            result = subprocess.run(
+                [sys.executable, "-c", probe],
+                capture_output=True, text=True, env=_driver_env(salt),
+                timeout=120,
+            )
+            assert result.returncode == 0, result.stderr
+            outs.append(result.stdout)
+        assert outs[0] == outs[1]

@@ -1,0 +1,122 @@
+"""Tests for the transient-failure retry policy."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.harness import RetryPolicy, RunRecord, run_with_retry
+
+
+def _record(failed=False, error=""):
+    return RunRecord(
+        algorithm="a", dataset="d", noise_type="one-way", noise_level=0.0,
+        repetition=0, assignment="jv",
+        measures={} if failed else {"accuracy": 1.0},
+        similarity_time=0.1, assignment_time=0.1,
+        failed=failed, error=error,
+    )
+
+
+class TestRetryPolicyValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ExperimentError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_backoff(self):
+        with pytest.raises(ExperimentError):
+            RetryPolicy(backoff_seconds=-1)
+
+    def test_rejects_shrinking_factor(self):
+        with pytest.raises(ExperimentError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestTransienceClassification:
+    def test_default_transients(self):
+        policy = RetryPolicy()
+        assert policy.is_transient("LinAlgError: singular matrix")
+        assert policy.is_transient("ConvergenceError: no convergence")
+
+    def test_permanent_failures_not_retried(self):
+        policy = RetryPolicy()
+        assert not policy.is_transient("timeout after 120s")
+        assert not policy.is_transient("MemoryError: 256Gb exceeded")
+        assert not policy.is_transient("AlgorithmError: unknown algorithm")
+
+    def test_custom_classes(self):
+        policy = RetryPolicy(retry_on=("TimeoutError",))
+        assert policy.is_transient("TimeoutError: flaky network")
+        assert not policy.is_transient("LinAlgError: singular matrix")
+
+
+class TestBackoffSchedule:
+    def test_exponential_growth(self):
+        policy = RetryPolicy(backoff_seconds=1.0, backoff_factor=2.0)
+        assert policy.delay(1) == 1.0
+        assert policy.delay(2) == 2.0
+        assert policy.delay(3) == 4.0
+
+    def test_zero_backoff_means_no_sleep(self):
+        slept = []
+        policy = RetryPolicy(max_attempts=3, backoff_seconds=0.0)
+        run_with_retry(
+            lambda attempt: _record(failed=True, error="LinAlgError: x"),
+            policy, sleep=slept.append,
+        )
+        assert slept == []
+
+
+class TestRunWithRetry:
+    def test_success_first_try(self):
+        calls = []
+        policy = RetryPolicy(max_attempts=3)
+        record = run_with_retry(
+            lambda attempt: calls.append(attempt) or _record(), policy
+        )
+        assert calls == [1]
+        assert record.attempts == 1
+        assert not record.failed
+
+    def test_transient_failure_retried_to_success(self):
+        policy = RetryPolicy(max_attempts=3)
+
+        def flaky(attempt):
+            if attempt < 3:
+                return _record(failed=True, error="LinAlgError: flaky")
+            return _record()
+
+        record = run_with_retry(flaky, policy)
+        assert not record.failed
+        assert record.attempts == 3
+
+    def test_permanent_failure_fails_fast(self):
+        calls = []
+        policy = RetryPolicy(max_attempts=5)
+        record = run_with_retry(
+            lambda attempt: calls.append(attempt)
+            or _record(failed=True, error="timeout after 9s"),
+            policy,
+        )
+        assert calls == [1]
+        assert record.failed
+        assert record.attempts == 1
+
+    def test_exhaustion_keeps_last_failure(self):
+        policy = RetryPolicy(max_attempts=2)
+        record = run_with_retry(
+            lambda attempt: _record(failed=True,
+                                    error=f"LinAlgError: try {attempt}"),
+            policy,
+        )
+        assert record.failed
+        assert record.attempts == 2
+        assert "try 2" in record.error
+
+    def test_backoff_slept_between_attempts(self):
+        slept = []
+        policy = RetryPolicy(max_attempts=3, backoff_seconds=0.5,
+                             backoff_factor=2.0)
+        run_with_retry(
+            lambda attempt: _record(failed=True, error="LinAlgError: x"),
+            policy, sleep=slept.append,
+        )
+        assert slept == [0.5, 1.0]  # no sleep after the final attempt
