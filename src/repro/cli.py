@@ -112,6 +112,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--retry-backoff", type=float, default=0.5,
                      help="seconds before the first retry, doubled per "
                           "further attempt")
+    exp.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="fan independent cells out to N worker "
+                          "processes (default 1 = serial); results and "
+                          "journal semantics are identical to a serial "
+                          "run")
     return parser
 
 
@@ -191,6 +196,7 @@ def _cmd_experiment(args, out) -> int:
         seed=args.seed,
         budget=budget,
         retry_policy=retry,
+        workers=args.workers,
     )
     table = run_experiment(config, {args.dataset: graph},
                            journal=args.journal)

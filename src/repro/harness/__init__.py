@@ -21,7 +21,12 @@ from repro.harness.config import (
     active_profile,
 )
 from repro.harness.budget import CellBudget, run_cell_with_budget
-from repro.harness.journal import RunJournal, cell_key, config_fingerprint
+from repro.harness.journal import (
+    RunJournal,
+    canonical_noise_level,
+    cell_key,
+    config_fingerprint,
+)
 from repro.harness.retry import RetryPolicy, run_with_retry
 from repro.harness.runner import (
     cell_seed,
@@ -45,6 +50,7 @@ __all__ = [
     "run_experiment",
     "cell_seed",
     "cell_key",
+    "canonical_noise_level",
     "config_fingerprint",
     "RunJournal",
     "CellBudget",

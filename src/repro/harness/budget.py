@@ -22,7 +22,7 @@ the sweep always continues, exactly like the paper's missing lines.
 from __future__ import annotations
 
 import multiprocessing as mp
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Sequence
 
 from repro.exceptions import ExperimentError
@@ -189,18 +189,7 @@ def run_cell_with_budget(
             algorithm_name, pair, dataset, repetition, assignment,
             error=f"{type(payload).__name__}: {payload}",
         )
-    # Re-tag the child's record with the caller's dataset/repetition.
-    return RunRecord(
-        algorithm=payload.algorithm,
-        dataset=dataset,
-        noise_type=payload.noise_type,
-        noise_level=payload.noise_level,
-        repetition=repetition,
-        assignment=payload.assignment,
-        measures=payload.measures,
-        similarity_time=payload.similarity_time,
-        assignment_time=payload.assignment_time,
-        peak_memory_bytes=payload.peak_memory_bytes,
-        failed=payload.failed,
-        error=payload.error,
-    )
+    # Re-tag the child's record with the caller's dataset/repetition,
+    # keeping every other field — notably `attempts`, which a retry
+    # policy wrapping this call audits — exactly as the child set it.
+    return replace(payload, dataset=dataset, repetition=repetition)

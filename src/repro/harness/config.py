@@ -102,6 +102,10 @@ class ExperimentConfig:
     Attributes map one-to-one onto the paper's experimental axes: the
     algorithms compared, the common assignment method, the noise grid, the
     repetition count, and the random seed everything derives from.
+    Execution knobs (``budget``, ``retry_policy``, ``workers``) change how
+    cells run, never what they compute — they are excluded from the
+    journal fingerprint and a ``workers=N`` sweep yields the same records
+    as a serial one.
     """
 
     name: str
@@ -116,6 +120,7 @@ class ExperimentConfig:
     algorithm_params: Dict[str, dict] = field(default_factory=dict)
     budget: Optional[CellBudget] = None       # run cells in capped children
     retry_policy: Optional[RetryPolicy] = None  # re-attempt transient fails
+    workers: int = 1  # >1 fans instances out to a process pool
 
     def __post_init__(self):
         if not self.algorithms:
@@ -123,6 +128,10 @@ class ExperimentConfig:
         if self.repetitions < 1:
             raise ExperimentError(
                 f"repetitions must be >= 1, got {self.repetitions}"
+            )
+        if self.workers < 1:
+            raise ExperimentError(
+                f"workers must be >= 1, got {self.workers}"
             )
         for level in self.noise_levels:
             if not 0.0 <= level < 1.0:

@@ -34,9 +34,22 @@ from typing import Dict, Iterator, List, Optional, Union
 from repro.exceptions import ExperimentError
 from repro.harness.results import RunRecord
 
-__all__ = ["cell_key", "config_fingerprint", "RunJournal"]
+__all__ = ["canonical_noise_level", "cell_key", "config_fingerprint",
+           "RunJournal"]
 
 _FORMAT_VERSION = 1
+
+
+def canonical_noise_level(noise_level: float) -> str:
+    """The one fixed-precision spelling of a noise level.
+
+    Every identity derived from a noise level — journal cell keys *and*
+    per-cell noise seeds — must go through this function.  Using two
+    different precisions (keys at 6 decimals, seeds at 3) once let two
+    levels distinct at the 4th decimal get separate journal keys while
+    producing byte-identical noise pairs.
+    """
+    return f"{float(noise_level):.6f}"
 
 
 def cell_key(dataset: str, noise_type: str, noise_level: float,
@@ -49,7 +62,7 @@ def cell_key(dataset: str, noise_type: str, noise_level: float,
     return "|".join((
         str(dataset),
         str(noise_type),
-        f"{float(noise_level):.6f}",
+        canonical_noise_level(noise_level),
         str(int(repetition)),
         str(algorithm),
     ))
@@ -58,22 +71,32 @@ def cell_key(dataset: str, noise_type: str, noise_level: float,
 def config_fingerprint(config) -> str:
     """Stable digest of an :class:`ExperimentConfig`'s identity.
 
-    Covers every axis that changes which cells a sweep contains or how
-    they are seeded; deliberately excludes execution knobs (budgets,
-    retries, memory tracking) so hardening a rerun does not orphan an
-    existing journal.
+    Covers every axis that changes which cells a sweep contains, how they
+    are seeded, or what each cell computes — including per-algorithm
+    hyperparameters, so a journal written under one set of
+    ``algorithm_params`` cannot silently absorb records produced under
+    another.  Deliberately excludes execution knobs (budgets, retries,
+    memory tracking, worker count) so hardening or parallelizing a rerun
+    does not orphan an existing journal.
     """
     payload = {
         "name": config.name,
         "algorithms": list(config.algorithms),
+        "algorithm_params": {
+            str(name): params
+            for name, params in sorted(config.algorithm_params.items())
+            if params  # empty/None param sets equal "no overrides"
+        },
         "assignment": config.assignment,
         "noise_types": list(config.noise_types),
-        "noise_levels": [f"{float(l):.6f}" for l in config.noise_levels],
+        "noise_levels": [canonical_noise_level(l)
+                         for l in config.noise_levels],
         "repetitions": int(config.repetitions),
         "measures": list(config.measures),
         "seed": int(config.seed),
     }
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                           default=repr)
     return hashlib.blake2b(canonical.encode("utf-8"),
                            digest_size=16).hexdigest()
 
@@ -86,6 +109,13 @@ class RunJournal:
     :meth:`get` / :attr:`records` and membership tests, and new appends
     continue the same file.  Every append is flushed and fsynced before
     returning, making the journal a true write-ahead log.
+
+    A journal has exactly **one writer: the process that opened it**.
+    The parallel sweep executor keeps this invariant by streaming records
+    from pool workers back to the parent, which performs every append;
+    concurrent appends from multiple processes would interleave partial
+    lines and corrupt the log.  :meth:`append` asserts the invariant, so
+    a journal object smuggled into a forked child fails loudly instead.
     """
 
     def __init__(self, path: Union[str, Path],
@@ -94,6 +124,7 @@ class RunJournal:
         self.fingerprint = fingerprint
         self._records: Dict[str, RunRecord] = {}
         self._handle = None
+        self._owner_pid = os.getpid()
         self._load()
 
     # -- loading -----------------------------------------------------------
@@ -156,7 +187,17 @@ class RunJournal:
         os.fsync(self._handle.fileno())
 
     def append(self, key: str, record: RunRecord) -> None:
-        """Durably journal one completed cell (idempotent per key)."""
+        """Durably journal one completed cell (idempotent per key).
+
+        Only the process that opened the journal may append: a JSONL
+        write-ahead log tolerates exactly one writer.
+        """
+        if os.getpid() != self._owner_pid:
+            raise ExperimentError(
+                f"journal {self.path} opened in pid {self._owner_pid} but "
+                f"appended from pid {os.getpid()}; the journal has a single "
+                "writer — stream worker results to the owning process"
+            )
         if key in self._records:
             return
         self._ensure_open()

@@ -13,18 +13,23 @@ The runner enforces the paper's protocol:
 from __future__ import annotations
 
 import hashlib
-import time
+import multiprocessing as mp
+import queue as queue_module
+import traceback
 import tracemalloc
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Optional, Sequence, Union
-
-import numpy as np
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.algorithms import get_algorithm
 from repro.algorithms.base import AlignmentAlgorithm
-from repro.exceptions import ReproError
+from repro.exceptions import ExperimentError
 from repro.harness.config import ExperimentConfig
-from repro.harness.journal import RunJournal, cell_key, config_fingerprint
+from repro.harness.journal import (
+    RunJournal,
+    canonical_noise_level,
+    cell_key,
+    config_fingerprint,
+)
 from repro.harness.results import ResultTable, RunRecord
 from repro.harness.retry import run_with_retry
 from repro.measures import evaluate_all
@@ -42,9 +47,14 @@ def cell_seed(base_seed: int, dataset: str, noise_type: str,
     the same experiment would perturb different edges.  A keyed BLAKE2b
     digest of the canonical cell coordinates gives every (dataset × noise
     type × level × repetition) cell the same 32-bit seed in every process.
+
+    The noise level enters the digest through the exact 6-decimal
+    canonical form that :func:`~repro.harness.journal.cell_key` uses, so
+    two levels get distinct seeds if and only if they get distinct
+    journal keys.
     """
     coords = (f"{int(base_seed)}|{dataset}|{noise_type}"
-              f"|{round(float(noise_level) * 1000)}|{int(repetition)}")
+              f"|{canonical_noise_level(noise_level)}|{int(repetition)}")
     digest = hashlib.blake2b(coords.encode("utf-8"), digest_size=4).digest()
     return int.from_bytes(digest, "big")
 
@@ -92,8 +102,12 @@ def run_cell(
 ) -> RunRecord:
     """One (algorithm × instance × repetition) cell as a :class:`RunRecord`.
 
-    Exceptions from the algorithm are converted into failed records so a
-    sweep continues past individual breakdowns.
+    *Any* exception from the algorithm (short of process-control ones
+    like ``KeyboardInterrupt``/``SystemExit``) is converted into a failed
+    record so a sweep continues past individual breakdowns — the paper's
+    protocol turns failures into ✗ marks, never into an aborted matrix.
+    The record's ``error`` starts with ``"ClassName: message"`` (the form
+    retry policies match on) followed by the traceback tail.
     """
     try:
         algorithm = get_algorithm(algorithm_name, **(algorithm_params or {}))
@@ -112,7 +126,12 @@ def run_cell(
             assignment_time=outcome["assignment_time"],
             peak_memory_bytes=outcome["peak_memory_bytes"],
         )
-    except (ReproError, np.linalg.LinAlgError, MemoryError) as exc:
+    except Exception as exc:
+        # Everything from ReproError/LinAlgError/MemoryError down to an
+        # unexpected ValueError or ArpackError inside one solver: all
+        # become ✗ records.  KeyboardInterrupt/SystemExit are not
+        # Exception subclasses and still propagate (the user aborts, the
+        # sweep does not eat it).
         return RunRecord(
             algorithm=algorithm_name,
             dataset=dataset,
@@ -124,8 +143,30 @@ def run_cell(
             similarity_time=0.0,
             assignment_time=0.0,
             failed=True,
-            error=f"{type(exc).__name__}: {exc}",
+            error=_describe_failure(exc),
         )
+
+
+def _describe_failure(exc: BaseException, tail_lines: int = 4) -> str:
+    """``"ClassName: message"`` plus the last frames of the traceback.
+
+    The leading ``ClassName:`` prefix is load-bearing — it is what
+    :meth:`RetryPolicy.is_transient` matches — and the traceback tail
+    makes a ✗ in a week-long sweep diagnosable without rerunning it.
+    """
+    head = f"{type(exc).__name__}: {exc}"
+    frames = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    tail = "".join(frames[-tail_lines:]).strip()
+    return f"{head}\n{tail}" if tail else head
+
+
+def _default_pair_factory(graph, noise_type, level, seed) -> GraphPair:
+    """Materialize one instance with :func:`repro.noise.make_pair`.
+
+    A module-level function (not a lambda) so pool workers can receive it
+    under every multiprocessing start method.
+    """
+    return make_pair(graph, noise_type, level, seed=seed)
 
 
 def run_experiment(
@@ -149,58 +190,191 @@ def run_experiment(
     the returned table always contains journaled and fresh records alike.
     Execution knobs come from the config: ``config.budget`` runs each
     cell in a resource-capped child process, ``config.retry_policy``
-    re-attempts transient failures.
+    re-attempts transient failures, and ``config.workers > 1`` fans
+    independent instances out to a pool of worker processes (see
+    :func:`_run_sweep_parallel`) — with identical results, budgets,
+    retries, and journal semantics.
     """
-    factory = pair_factory or (
-        lambda graph, noise_type, level, seed: make_pair(
-            graph, noise_type, level, seed=seed
-        )
-    )
+    factory = pair_factory or _default_pair_factory
     owns_journal = journal is not None and not isinstance(journal, RunJournal)
     if owns_journal:
         journal = RunJournal(journal, fingerprint=config_fingerprint(config))
     try:
+        if int(getattr(config, "workers", 1)) > 1:
+            return _run_sweep_parallel(config, graphs, factory, progress,
+                                       journal)
         return _run_sweep(config, graphs, factory, progress, journal)
     finally:
         if owns_journal:
             journal.close()
 
 
-def _run_sweep(config, graphs, factory, progress, journal) -> ResultTable:
-    table = ResultTable()
-    base_seed = int(config.seed)
-    for dataset, graph in graphs.items():
+# One unit of schedulable work: every pending algorithm of one alignment
+# instance.  Grouping by instance lets a worker materialize the (possibly
+# expensive) noisy pair once and reuse it across algorithms, exactly as
+# the serial loop does.
+InstanceTask = Tuple[str, str, float, int, Tuple[str, ...]]
+
+
+def _collect_instances(config, graphs, journal, table) -> List[InstanceTask]:
+    """Replay journaled records into ``table``; return the remaining work.
+
+    Shared by the serial and parallel paths so both skip exactly the same
+    cells on resume.
+    """
+    tasks: List[InstanceTask] = []
+    for dataset in graphs:
         for noise_type in config.noise_types:
             for level in config.noise_levels:
                 for rep in range(config.repetitions):
-                    keys = {
-                        name: cell_key(dataset, noise_type, level, rep, name)
-                        for name in config.algorithms
-                    }
-                    pending = [
-                        name for name in config.algorithms
-                        if journal is None or keys[name] not in journal
-                    ]
-                    if journal is not None:
-                        for name in config.algorithms:
-                            if name not in pending:
-                                table.add(journal.get(keys[name]))
-                    if not pending:
-                        continue  # whole instance journaled: skip the pair
-                    seed = cell_seed(base_seed, dataset, noise_type,
-                                     level, rep)
-                    pair = factory(graph, noise_type, level, seed)
-                    for name in pending:
-                        if progress is not None:
-                            progress(
-                                f"{dataset} {noise_type} {level:.2f} "
-                                f"rep{rep} {name}"
-                            )
-                        record = _execute_cell(config, name, pair,
-                                               dataset, rep, seed)
-                        table.add(record)
-                        if journal is not None:
-                            journal.append(keys[name], record)
+                    pending = []
+                    for name in config.algorithms:
+                        key = cell_key(dataset, noise_type, level, rep, name)
+                        if journal is not None and key in journal:
+                            table.add(journal.get(key))
+                        else:
+                            pending.append(name)
+                    if pending:
+                        tasks.append((dataset, noise_type, level, rep,
+                                      tuple(pending)))
+    return tasks
+
+
+def _run_sweep(config, graphs, factory, progress, journal) -> ResultTable:
+    table = ResultTable()
+    base_seed = int(config.seed)
+    for dataset, noise_type, level, rep, pending in _collect_instances(
+            config, graphs, journal, table):
+        seed = cell_seed(base_seed, dataset, noise_type, level, rep)
+        pair = factory(graphs[dataset], noise_type, level, seed)
+        for name in pending:
+            if progress is not None:
+                progress(
+                    f"{dataset} {noise_type} {level:.2f} "
+                    f"rep{rep} {name}"
+                )
+            record = _execute_cell(config, name, pair, dataset, rep, seed)
+            table.add(record)
+            if journal is not None:
+                journal.append(
+                    cell_key(dataset, noise_type, level, rep, name), record)
+    return table
+
+
+def _pool_context():
+    """Fork-server-free context: ``fork`` where available, default elsewhere.
+
+    ``fork`` lets workers inherit the base graphs and pair factory without
+    pickling anything; under ``spawn`` they are pickled once per worker at
+    startup (never per cell).
+    """
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+def _worker_main(task_queue, result_queue, config, graphs, factory) -> None:
+    """Pool-worker body: materialize pairs locally, run cells, stream back.
+
+    Workers receive only small :data:`InstanceTask` tuples; the noisy pair
+    for each instance is rebuilt *inside* the worker from the stable
+    :func:`cell_seed`, so the parent never ships per-cell graph data.
+    Budgets and retries apply per cell exactly as in the serial path
+    (``run_cell_with_budget`` forks its capped grandchild from here).
+    Every outcome — including a broken pair factory — is shipped as a
+    ``(key, RunRecord)`` so the parent's accounting always balances.
+    """
+    base_seed = int(config.seed)
+    while True:
+        task = task_queue.get()
+        if task is None:  # sentinel: no more instances
+            break
+        dataset, noise_type, level, rep, pending = task
+        seed = cell_seed(base_seed, dataset, noise_type, level, rep)
+        try:
+            pair = factory(graphs[dataset], noise_type, level, seed)
+        except Exception as exc:
+            for name in pending:
+                key = cell_key(dataset, noise_type, level, rep, name)
+                result_queue.put((key, RunRecord(
+                    algorithm=name, dataset=dataset, noise_type=noise_type,
+                    noise_level=float(level), repetition=rep,
+                    assignment=config.assignment, measures={},
+                    similarity_time=0.0, assignment_time=0.0, failed=True,
+                    error=_describe_failure(exc),
+                )))
+            continue
+        for name in pending:
+            key = cell_key(dataset, noise_type, level, rep, name)
+            record = _execute_cell(config, name, pair, dataset, rep, seed)
+            result_queue.put((key, record))
+
+
+def _run_sweep_parallel(config, graphs, factory, progress,
+                        journal) -> ResultTable:
+    """Fan instances out to ``config.workers`` processes.
+
+    The parent stays the **single journal writer**: workers stream
+    ``(key, record)`` results back over a queue and every append happens
+    here, so the crash/resume guarantees of the serial path hold
+    unchanged.  Collection is ordering-independent — records are keyed,
+    not positional — which is what makes a parallel run resumable by a
+    serial one and vice versa.
+    """
+    table = ResultTable()
+    tasks = _collect_instances(config, graphs, journal, table)
+    if not tasks:
+        return table
+    expected = sum(len(pending) for *_, pending in tasks)
+    ctx = _pool_context()
+    task_queue = ctx.Queue()
+    result_queue = ctx.Queue()
+    n_workers = max(1, min(int(config.workers), len(tasks)))
+    for task in tasks:
+        task_queue.put(task)
+    for _ in range(n_workers):
+        task_queue.put(None)
+    # Workers are non-daemonic: run_cell_with_budget must be able to fork
+    # its resource-capped grandchild from inside a worker.  The finally
+    # block below reaps them on every exit path instead.
+    workers = [
+        ctx.Process(target=_worker_main,
+                    args=(task_queue, result_queue, config, graphs, factory))
+        for _ in range(n_workers)
+    ]
+    for worker in workers:
+        worker.start()
+    try:
+        received = 0
+        while received < expected:
+            try:
+                key, record = result_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                if not any(worker.is_alive() for worker in workers):
+                    raise ExperimentError(
+                        f"all sweep workers exited with {expected - received}"
+                        " cells outstanding (a worker crashed harder than a"
+                        " cell budget could catch); completed cells are in"
+                        " the journal — rerun to resume"
+                    )
+                continue
+            received += 1
+            if progress is not None:
+                progress(
+                    f"{record.dataset} {record.noise_type} "
+                    f"{record.noise_level:.2f} rep{record.repetition} "
+                    f"{record.algorithm}"
+                )
+            table.add(record)
+            if journal is not None:
+                journal.append(key, record)
+        for worker in workers:
+            worker.join()
+    finally:
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+                worker.join()
     return table
 
 

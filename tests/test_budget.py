@@ -132,6 +132,37 @@ class TestBudgetRunner:
         assert elapsed < 30
 
 
+class TestRecordRetagging:
+    def test_retag_preserves_attempts_and_measures(self, monkeypatch):
+        """Regression: the parent's re-tag of the child's record once
+        rebuilt it field by field and dropped ``attempts`` back to 1, so
+        journaled records under budget+retry misreported retry counts."""
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("monkeypatching the child needs fork inheritance")
+
+        import repro.harness.runner as runner_module
+        from repro.harness import RunRecord
+
+        def fake_run_cell(algorithm_name, pair, dataset, repetition, **kwargs):
+            return RunRecord(
+                algorithm=algorithm_name, dataset=dataset,
+                noise_type=pair.noise_type, noise_level=pair.noise_level,
+                repetition=repetition, assignment="jv",
+                measures={"accuracy": 0.75}, similarity_time=1.25,
+                assignment_time=0.25, peak_memory_bytes=4096, attempts=3,
+            )
+
+        monkeypatch.setattr(runner_module, "run_cell", fake_run_cell)
+        budget = CellBudget(time_seconds=60)
+        record = run_cell_with_budget("isorank", PAIR, "pl", 5, budget)
+        assert record.attempts == 3  # the child's count, not a reset 1
+        assert record.dataset == "pl" and record.repetition == 5
+        assert record.measures == {"accuracy": 0.75}
+        assert record.peak_memory_bytes == 4096
+
+
 class TestTimeoutCompatibility:
     def test_timeout_front_accepts_memory_limit(self):
         record = run_cell_with_timeout("_hog", PAIR, "pl", 0,

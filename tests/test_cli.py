@@ -132,6 +132,28 @@ class TestExperimentCommand:
         assert code == 0
         assert "isorank" in text
 
+    def test_workers_flag_matches_serial_grid(self, tmp_path):
+        """--workers N prints the same grid as a serial run and leaves a
+        journal a serial rerun replays without executing anything."""
+        journal = tmp_path / "par.jsonl"
+        base = [
+            "experiment", "--dataset", "ca-netscience",
+            "--algorithms", "isorank", "nsd",
+            "--levels", "0", "0.02", "--reps", "1", "--scale", "0.3",
+        ]
+        code, serial_text = _run(base)
+        assert code == 0
+        code, parallel_text = _run(base + ["--workers", "2",
+                                           "--journal", str(journal)])
+        assert code == 0
+        grid = lambda text: [l for l in text.splitlines()
+                             if "|" in l or "---" in l]
+        assert grid(parallel_text) == grid(serial_text)
+        size_after = journal.stat().st_size
+        code, _ = _run(base + ["--journal", str(journal)])  # serial resume
+        assert code == 0
+        assert journal.stat().st_size == size_after
+
 
 class TestTuneCommand:
     def test_single_param_sweep(self):

@@ -61,11 +61,26 @@ class TestRunCellFailureCapture:
         assert record.failed
         assert type(exc).__name__ in record.error
 
-    def test_unexpected_exception_propagates(self):
-        """Programming errors must NOT be swallowed as failed records."""
+    def test_unexpected_exception_becomes_record_with_traceback(self):
+        """Even exception classes nobody anticipated become ✗ records —
+        the paper's protocol never aborts a sweep on one bad cell — and
+        the error carries the traceback tail so the bug stays findable."""
         register_algorithm(_make_failing("_fail-type", TypeError("bug")))
-        with pytest.raises(TypeError):
-            run_cell("_fail-type", PAIR, "pl", 0)
+        record = run_cell("_fail-type", PAIR, "pl", 0)
+        assert record.failed
+        assert record.error.startswith("TypeError: bug")
+        assert "_similarity" in record.error  # traceback tail names the frame
+
+    def test_process_control_exceptions_propagate(self):
+        """KeyboardInterrupt/SystemExit are not cell failures: the user
+        (or the harness) is stopping the sweep itself."""
+        register_algorithm(
+            _make_failing("_fail-interrupt", KeyboardInterrupt()))
+        with pytest.raises(KeyboardInterrupt):
+            run_cell("_fail-interrupt", PAIR, "pl", 0)
+        register_algorithm(_make_failing("_fail-exit", SystemExit(3)))
+        with pytest.raises(SystemExit):
+            run_cell("_fail-exit", PAIR, "pl", 0)
 
     @pytest.mark.parametrize("exc", [
         MemoryError("256Gb exceeded"),

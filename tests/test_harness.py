@@ -67,6 +67,8 @@ class TestExperimentConfig:
         with pytest.raises(ExperimentError):
             ExperimentConfig(name="x", algorithms=["isorank"],
                              noise_levels=(1.2,))
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(name="x", algorithms=["isorank"], workers=0)
 
 
 class TestRunOnPair:
@@ -102,6 +104,77 @@ class TestRunCell:
         record = run_cell("isorank", PAIR, "pl", repetition=0,
                           algorithm_params={"alpha": 0.5})
         assert not record.failed
+
+
+class TestRunCellBroadFailureNet:
+    """Any exception becomes a ✗ record (the paper's protocol); only
+    process-control exceptions may abort the sweep."""
+
+    @pytest.fixture(autouse=True)
+    def _register(self):
+        from repro.algorithms.base import (
+            ALGORITHM_REGISTRY, AlgorithmInfo, AlignmentAlgorithm,
+            register_algorithm,
+        )
+
+        def make_info(name):
+            return AlgorithmInfo(
+                name=name, year=2026, preprocessing="no", biological=False,
+                default_assignment="jv", optimizes="any",
+                time_complexity="O(?)", parameters={},
+            )
+
+        value_errorer_info = make_info("_valueerrorer")
+        interrupter_info = make_info("_interrupter")
+
+        class _ValueErrorer(AlignmentAlgorithm):
+            info = value_errorer_info
+
+            def _similarity(self, source, target, rng):
+                raise ValueError("matrix has unexpected shape")
+
+        class _Interrupter(AlignmentAlgorithm):
+            info = interrupter_info
+
+            def _similarity(self, source, target, rng):
+                raise KeyboardInterrupt
+
+        for cls in (_ValueErrorer, _Interrupter):
+            register_algorithm(cls)
+        yield
+        for name in ("_valueerrorer", "_interrupter"):
+            ALGORITHM_REGISTRY.pop(name, None)
+
+    def test_unexpected_exception_becomes_failed_record(self):
+        record = run_cell("_valueerrorer", PAIR, "pl", repetition=0)
+        assert record.failed
+        assert record.error.startswith("ValueError: matrix has unexpected")
+
+    def test_error_carries_traceback_tail(self):
+        record = run_cell("_valueerrorer", PAIR, "pl", repetition=0)
+        assert "_similarity" in record.error  # the raising frame is named
+
+    def test_error_prefix_still_matches_retry_policies(self):
+        from repro.harness import RetryPolicy
+        record = run_cell("_valueerrorer", PAIR, "pl", repetition=0)
+        policy = RetryPolicy(retry_on=("ValueError",))
+        assert policy.is_transient(record.error)
+        assert not RetryPolicy().is_transient(record.error)
+
+    def test_keyboard_interrupt_propagates(self):
+        with pytest.raises(KeyboardInterrupt):
+            run_cell("_interrupter", PAIR, "pl", repetition=0)
+
+    def test_unexpected_failure_does_not_abort_sweep(self):
+        config = ExperimentConfig(
+            name="net", algorithms=["_valueerrorer", "isorank"],
+            noise_levels=(0.0,), repetitions=1, seed=3,
+        )
+        table = run_experiment(config, {"pl": GRAPH})
+        assert len(table) == 2
+        by_algo = {r.algorithm: r for r in table.records}
+        assert by_algo["_valueerrorer"].failed
+        assert not by_algo["isorank"].failed
 
 
 class TestRunExperiment:

@@ -111,6 +111,34 @@ class TestRunJournal:
         assert len(journal) == 0
         assert journal.get("k") is None
 
+    def test_append_from_foreign_process_rejected(self, tmp_path):
+        """The journal has a single writer: the process that opened it.
+        A forked child appending would interleave partial JSONL lines."""
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("needs fork to hand the open journal to a child")
+
+        journal = RunJournal(tmp_path / "sweep.jsonl")
+        journal.append("k1", _record())
+
+        def child(journal, queue):
+            try:
+                journal.append("k2", _record(repetition=1))
+                queue.put("appended")
+            except ExperimentError as exc:
+                queue.put(f"rejected: {exc}")
+
+        ctx = mp.get_context("fork")
+        queue = ctx.Queue()
+        proc = ctx.Process(target=child, args=(journal, queue))
+        proc.start()
+        outcome = queue.get(timeout=30)
+        proc.join()
+        journal.close()
+        assert outcome.startswith("rejected")
+        assert "k2" not in RunJournal(tmp_path / "sweep.jsonl")
+
 
 class TestConfigFingerprint:
     def _config(self, **overrides):
@@ -132,9 +160,35 @@ class TestConfigFingerprint:
     def test_insensitive_to_execution_knobs(self):
         from repro.harness import RetryPolicy
         hardened = self._config(retry_policy=RetryPolicy(max_attempts=2),
-                                track_memory=True)
+                                track_memory=True, workers=4)
         assert (config_fingerprint(hardened)
                 == config_fingerprint(self._config()))
+
+    def test_sensitive_to_algorithm_params(self):
+        """Regression: a journal written under one hyperparameter set must
+        not be silently resumed after the params change — records from
+        different configurations would mix in one table."""
+        base = config_fingerprint(self._config())
+        tuned = self._config(algorithm_params={"isorank": {"alpha": 0.9}})
+        retuned = self._config(algorithm_params={"isorank": {"alpha": 0.6}})
+        assert config_fingerprint(tuned) != base
+        assert config_fingerprint(tuned) != config_fingerprint(retuned)
+
+    def test_empty_param_sets_equal_no_overrides(self):
+        base = config_fingerprint(self._config())
+        assert config_fingerprint(
+            self._config(algorithm_params={"isorank": {}})) == base
+
+    def test_changed_params_rejected_on_resume(self, tmp_path):
+        path = tmp_path / "exp.jsonl"
+        config = dict(name="fp", algorithms=["isorank"], noise_levels=(0.0,),
+                      repetitions=1, seed=3)
+        run_experiment(ExperimentConfig(**config), {"pl": GRAPH},
+                       journal=str(path))
+        tuned = ExperimentConfig(
+            algorithm_params={"isorank": {"alpha": 0.42}}, **config)
+        with pytest.raises(ExperimentError):
+            run_experiment(tuned, {"pl": GRAPH}, journal=str(path))
 
 
 class TestJournaledExperiment:

@@ -164,3 +164,67 @@ class TestEvaluateAll:
                            pair.ground_truth)
         assert out["accuracy"] == 1.0
         assert out["ec"] == pytest.approx(0.95, abs=0.02)
+
+
+class TestAlignedEdgeCountVectorization:
+    """The vectorized |f(E_A)| must agree with the definitional
+    per-edge has_edge loop on arbitrary graphs and mappings."""
+
+    @staticmethod
+    def _random_case(draw):
+        from hypothesis import strategies as st
+
+        n_source = draw(st.integers(min_value=0, max_value=30))
+        n_target = draw(st.integers(min_value=1, max_value=30))
+        source_edges = draw(st.lists(
+            st.tuples(st.integers(0, max(n_source - 1, 0)),
+                      st.integers(0, max(n_source - 1, 0))),
+            max_size=60,
+        ))
+        target_edges = draw(st.lists(
+            st.tuples(st.integers(0, n_target - 1),
+                      st.integers(0, n_target - 1)),
+            max_size=60,
+        ))
+        mapping = draw(st.lists(
+            st.integers(-1, n_target - 1),
+            min_size=n_source, max_size=n_source,
+        ))
+        return n_source, n_target, source_edges, target_edges, mapping
+
+    def test_matches_loop_reference_on_random_graphs(self):
+        from hypothesis import given, settings, strategies as st
+
+        from repro.measures.metrics import (
+            _aligned_edge_count,
+            _aligned_edge_count_reference,
+        )
+
+        @settings(max_examples=200, deadline=None)
+        @given(st.data())
+        def check(data):
+            n_s, n_t, s_edges, t_edges, mapping = self._random_case(data.draw)
+            source = Graph(n_s, [(u, v) for u, v in s_edges if u != v])
+            target = Graph(n_t, [(u, v) for u, v in t_edges if u != v])
+            arr = np.asarray(mapping, dtype=np.int64)
+            assert (_aligned_edge_count(source, target, arr)
+                    == _aligned_edge_count_reference(source, target, arr))
+
+        check()
+
+    def test_matches_loop_reference_on_noisy_pairs(self):
+        from repro.measures.metrics import (
+            _aligned_edge_count,
+            _aligned_edge_count_reference,
+        )
+
+        rng = np.random.default_rng(7)
+        for seed in range(5):
+            pair = make_pair(cycle_graph(50), "multimodal", 0.1, seed=seed)
+            for mapping in (pair.ground_truth,
+                            rng.permutation(pair.source.num_nodes),
+                            np.full(pair.source.num_nodes, -1)):
+                arr = np.asarray(mapping, dtype=np.int64)
+                assert (_aligned_edge_count(pair.source, pair.target, arr)
+                        == _aligned_edge_count_reference(
+                            pair.source, pair.target, arr))

@@ -1,0 +1,225 @@
+"""Tests for the parallel cell-level sweep executor.
+
+The contract under test: ``workers=N`` is an *execution* knob, never a
+*semantics* knob.  A parallel run of the same :class:`ExperimentConfig`
+produces the same set of :class:`RunRecord`\\ s as a serial run (modulo
+wall-clock timing fields), writes the same journal keys, honors budgets
+and retries per cell, and a SIGKILLed parallel sweep resumes from its
+journal without re-running journaled cells — in either serial or
+parallel mode, since the journal format is identical.
+
+``REPRO_TEST_WORKERS`` overrides the worker count (CI exercises the pool
+path with 2); the determinism test always compares against ``workers=4``
+per the acceptance criteria.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.graphs import powerlaw_cluster_graph
+from repro.harness import (
+    CellBudget,
+    ExperimentConfig,
+    RetryPolicy,
+    RunJournal,
+    run_experiment,
+)
+
+ROOT = Path(__file__).resolve().parent.parent
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+
+GRAPH = powerlaw_cluster_graph(40, 3, 0.3, seed=5)
+
+CONFIG = dict(
+    name="par", algorithms=["isorank", "nsd"],
+    noise_levels=(0.0, 0.02), repetitions=2, seed=7,
+)
+
+
+def canonical(table):
+    """Order-insensitive, timing-insensitive view of a result table.
+
+    Timing and peak-memory fields legitimately differ between runs of
+    the same cell; everything else — including the measure values, which
+    are bit-identical for equal seeds — must match.
+    """
+    return sorted(
+        (r.algorithm, r.dataset, r.noise_type, round(r.noise_level, 6),
+         r.repetition, r.assignment, tuple(sorted(r.measures.items())),
+         r.failed, r.attempts)
+        for r in table.records
+    )
+
+
+class TestParallelDeterminism:
+    def test_workers4_matches_serial(self):
+        serial = run_experiment(ExperimentConfig(**CONFIG), {"pl": GRAPH})
+        parallel = run_experiment(
+            ExperimentConfig(workers=4, **CONFIG), {"pl": GRAPH})
+        assert len(parallel) == len(serial) == 8
+        assert canonical(parallel) == canonical(serial)
+
+    def test_parallel_run_is_repeatable(self):
+        first = run_experiment(
+            ExperimentConfig(workers=WORKERS, **CONFIG), {"pl": GRAPH})
+        second = run_experiment(
+            ExperimentConfig(workers=WORKERS, **CONFIG), {"pl": GRAPH})
+        assert canonical(first) == canonical(second)
+
+    def test_more_workers_than_instances(self):
+        config = ExperimentConfig(
+            name="tiny", algorithms=["isorank"], noise_levels=(0.0,),
+            repetitions=1, seed=3, workers=8,
+        )
+        table = run_experiment(config, {"pl": GRAPH})
+        assert len(table) == 1 and not table.records[0].failed
+
+
+class TestParallelJournal:
+    def test_parallel_writes_same_journal_keys_as_serial(self, tmp_path):
+        serial_path = tmp_path / "serial.jsonl"
+        parallel_path = tmp_path / "parallel.jsonl"
+        run_experiment(ExperimentConfig(**CONFIG), {"pl": GRAPH},
+                       journal=str(serial_path))
+        run_experiment(ExperimentConfig(workers=WORKERS, **CONFIG),
+                       {"pl": GRAPH}, journal=str(parallel_path))
+        assert (sorted(RunJournal(serial_path).keys)
+                == sorted(RunJournal(parallel_path).keys))
+
+    def test_serial_journal_resumed_in_parallel_and_back(self, tmp_path):
+        """Journals are interchangeable between modes: half a sweep done
+        serially finishes under workers, and a parallel journal replays
+        into a serial rerun untouched."""
+        from repro.harness import cell_key
+
+        full = run_experiment(ExperimentConfig(**CONFIG), {"pl": GRAPH})
+        partial = tmp_path / "mixed.jsonl"
+        with RunJournal(partial) as journal:
+            for record in full.records[:4]:
+                journal.append(
+                    cell_key(record.dataset, record.noise_type,
+                             record.noise_level, record.repetition,
+                             record.algorithm),
+                    record,
+                )
+        executed = []
+        table = run_experiment(
+            ExperimentConfig(workers=WORKERS, **CONFIG), {"pl": GRAPH},
+            journal=str(partial), progress=executed.append)
+        assert len(table) == 8
+        assert len(executed) == 4  # only the missing half ran
+        executed.clear()
+        again = run_experiment(ExperimentConfig(**CONFIG), {"pl": GRAPH},
+                               journal=str(partial), progress=executed.append)
+        assert len(again) == 8 and executed == []
+
+    def test_budget_and_retry_apply_inside_workers(self, tmp_path):
+        config = ExperimentConfig(
+            workers=WORKERS,
+            budget=CellBudget(time_seconds=120),
+            retry_policy=RetryPolicy(max_attempts=2),
+            **CONFIG,
+        )
+        table = run_experiment(config, {"pl": GRAPH},
+                               journal=str(tmp_path / "b.jsonl"))
+        assert len(table) == 8
+        assert all(not r.failed for r in table.records)
+        assert all(r.attempts == 1 for r in table.records)
+
+
+# Driver for the kill/resume test: a parallel sweep against a journal
+# that SIGKILLs itself after N cells are durable.  In the parallel path
+# the progress callback fires in the parent once per *executed* cell as
+# its result is collected (replayed journal cells never fire it), so the
+# log measures exactly how many cells each run really ran.
+DRIVER = """\
+import os, signal, sys
+from repro.graphs import powerlaw_cluster_graph
+from repro.harness import ExperimentConfig, run_experiment
+
+journal_path, kill_after, workers = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+config = ExperimentConfig(
+    name="par", algorithms=["isorank", "nsd"],
+    noise_levels=(0.0, 0.02), repetitions=2, seed=7, workers=workers,
+)
+graph = powerlaw_cluster_graph(40, 3, 0.3, seed=5)
+count = 0
+
+def progress(message):
+    global count
+    count += 1
+    with open(journal_path + ".log", "a") as handle:
+        handle.write(message + "\\n")
+    if kill_after and count > kill_after:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+table = run_experiment(config, {"pl": graph}, progress=progress,
+                       journal=journal_path)
+print(len(table), sum(r.failed for r in table.records))
+"""
+
+
+def _run_driver(journal, kill_after, workers):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-c", DRIVER, str(journal), str(kill_after),
+         str(workers)],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+
+
+def _journal_keys(path):
+    keys = []
+    for line in Path(path).read_text().splitlines():
+        entry = json.loads(line)
+        if entry.get("kind") == "record":
+            keys.append(entry["key"])
+    return keys
+
+
+class TestParallelKillAndResume:
+    def test_sigkilled_parallel_sweep_resumes(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        log = Path(str(journal) + ".log")
+
+        first = _run_driver(journal, kill_after=3, workers=WORKERS)
+        assert first.returncode == -signal.SIGKILL
+        survived = _journal_keys(journal)
+        # Progress fires after a record is collected but before it is
+        # journaled, so when tick kill_after+1 pulls the trigger exactly
+        # kill_after records are durable.
+        assert len(survived) == 3
+        assert len(set(survived)) == len(survived)
+
+        log.unlink()
+        second = _run_driver(journal, kill_after=0, workers=WORKERS)
+        assert second.returncode == 0, second.stderr
+        total, failed = map(int, second.stdout.split())
+        assert (total, failed) == (8, 0)
+        # Only the missing cells were executed; journaled ones replayed.
+        assert len(log.read_text().splitlines()) == 8 - len(survived)
+        final = _journal_keys(journal)
+        assert len(final) == 8 and len(set(final)) == 8
+        assert set(survived) <= set(final)
+
+    def test_completed_parallel_journal_makes_rerun_noop(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        log = Path(str(journal) + ".log")
+        assert _run_driver(journal, 0, WORKERS).returncode == 0
+        keys_before = _journal_keys(journal)
+        log.unlink()
+        rerun = _run_driver(journal, 0, WORKERS)
+        assert rerun.returncode == 0, rerun.stderr
+        assert rerun.stdout.split()[0] == "8"
+        assert not log.exists()  # zero cells executed on the rerun
+        assert _journal_keys(journal) == keys_before
