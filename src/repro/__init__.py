@@ -43,7 +43,9 @@ from repro import (
 )
 from repro.algorithms import get_algorithm, list_algorithms
 from repro.algorithms.base import AlignmentResult
+from repro.diagnostics import Diagnostic, capture_diagnostics
 from repro.exceptions import ReproError
+from repro.numerics import numerics_policy, set_numerics_policy
 
 __version__ = "1.0.0"
 
@@ -52,6 +54,10 @@ __all__ = [
     "get_algorithm",
     "list_algorithms",
     "AlignmentResult",
+    "Diagnostic",
+    "capture_diagnostics",
+    "numerics_policy",
+    "set_numerics_policy",
     "ReproError",
     "algorithms",
     "assignment",

@@ -7,21 +7,42 @@ runtimes can be reported "excluding the assignment step").
 
 Algorithms whose alignment is integral to the method (GRAAL's
 seed-and-extend) additionally override :meth:`AlignmentAlgorithm.native_mapping`.
+
+:meth:`AlignmentAlgorithm.align` additionally runs the graceful-degradation
+layer around the two stages:
+
+* **preflight** — declared input contracts (:class:`AlgorithmInfo`'s
+  ``requires_connected`` / ``min_nodes``) are checked before any compute.
+  A disconnected input for a connectivity-requiring method gets the
+  paper's documented mitigation — restrict to the largest connected
+  component, leave the cut-off nodes unmatched — and the restriction is
+  recorded as a diagnostic.  An unmitigable violation raises
+  :class:`~repro.exceptions.PreflightError` so the harness can emit a
+  structured skipped record instead of crashing mid-solve.
+* **watchdog** — the similarity matrix is validated between the stages
+  (:func:`repro.numerics.check_similarity`): NaN/Inf is sanitized and
+  recorded, or raised under the strict policy.
+
+Every event lands in :attr:`AlignmentResult.diagnostics`, which the
+harness forwards into :class:`~repro.harness.results.RunRecord`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Type
+from typing import Dict, List, Optional, Tuple, Type
 
 import numpy as np
 from scipy import sparse
 
 from repro.assignment import extract_alignment
-from repro.exceptions import AlgorithmError
+from repro.diagnostics import Diagnostic, capture_diagnostics, record_diagnostic
+from repro.exceptions import AlgorithmError, PreflightError
 from repro.graphs.generators import SeedLike, as_rng
 from repro.graphs.graph import Graph
+from repro.graphs.operations import is_connected, largest_connected_component
+from repro.numerics import check_similarity
 
 __all__ = [
     "AlignmentResult",
@@ -36,7 +57,23 @@ __all__ = [
 
 @dataclass(frozen=True)
 class AlgorithmInfo:
-    """Static algorithm traits as collected in the paper's Table 1."""
+    """Static algorithm traits as collected in the paper's Table 1.
+
+    Beyond the table's columns, an info declares the algorithm's *input
+    contract* — requirements the harness preflight checks before running
+    (see :meth:`AlignmentAlgorithm.align`):
+
+    ``requires_connected``
+        The method is only well-defined on connected inputs (e.g. GRASP,
+        whose Laplacian spectrum degenerates with a repeated zero
+        eigenvalue on disconnected graphs — the §6.4.2 failure mode).
+        Preflight applies the paper's mitigation: restrict to the largest
+        connected component and record the restriction.
+    ``min_nodes``
+        Smallest input (per graph) the method can process; smaller inputs
+        are rejected with :class:`~repro.exceptions.PreflightError` before
+        any compute is spent.
+    """
 
     name: str
     year: int
@@ -46,6 +83,8 @@ class AlgorithmInfo:
     optimizes: str           # measure the method optimizes ("any" / "mnc")
     time_complexity: str
     parameters: Dict[str, object]
+    requires_connected: bool = False
+    min_nodes: int = 1
 
 
 @dataclass
@@ -66,6 +105,10 @@ class AlignmentResult:
         Seconds spent in the assignment stage.
     algorithm, assignment:
         Names for provenance.
+    diagnostics:
+        Graceful-degradation events recorded during the run (preflight
+        mitigations, watchdog repairs, solver fallbacks); empty for a
+        clean run.  See :mod:`repro.diagnostics`.
     """
 
     mapping: np.ndarray
@@ -74,10 +117,16 @@ class AlignmentResult:
     assignment_time: float
     algorithm: str
     assignment: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
 
     @property
     def total_time(self) -> float:
         return self.similarity_time + self.assignment_time
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any fallback or mitigation fired during this run."""
+        return bool(self.diagnostics)
 
 
 class AlignmentAlgorithm:
@@ -113,18 +162,41 @@ class AlignmentAlgorithm:
         ``assignment`` defaults to ``"jv"`` — the paper's common back-end —
         not to the per-algorithm original (pass
         ``self.info.default_assignment`` to reproduce author behavior).
+
+        The run is wrapped in the graceful-degradation layer: preflight
+        contract checks (with the largest-connected-component mitigation
+        for connectivity-requiring methods), the numerical watchdog
+        between the similarity and assignment stages, and diagnostic
+        collection into the result (see the module docstring).
         """
         self._validate(source, target)
         method = assignment or "jv"
         rng = as_rng(seed)
 
-        start = time.perf_counter()
-        sim = self._similarity(source, target, rng)
-        sim_time = time.perf_counter() - start
+        with capture_diagnostics() as diagnostics:
+            preflight = self._preflight(source, target)
+            if preflight is None:
+                # Contract unmet even after mitigation: a degraded
+                # all-unmatched result, not a crash (the diagnostic
+                # recorded by _preflight explains why).
+                mapping = np.full(source.num_nodes, -1, dtype=np.int64)
+                sim = np.zeros((source.num_nodes, target.num_nodes))
+                sim_time = assign_time = 0.0
+            else:
+                run_source, run_target, source_nodes, target_nodes = preflight
 
-        start = time.perf_counter()
-        mapping = extract_alignment(sim, method)
-        assign_time = time.perf_counter() - start
+                start = time.perf_counter()
+                sim = self._similarity(run_source, run_target, rng)
+                sim_time = time.perf_counter() - start
+
+                sim = check_similarity(sim, stage="watchdog")
+
+                start = time.perf_counter()
+                mapping = extract_alignment(sim, method)
+                assign_time = time.perf_counter() - start
+                if source_nodes is not None:
+                    mapping = _expand_mapping(mapping, source_nodes,
+                                              target_nodes, source.num_nodes)
         return AlignmentResult(
             mapping=mapping,
             similarity=sim,
@@ -132,6 +204,7 @@ class AlignmentAlgorithm:
             assignment_time=assign_time,
             algorithm=self.info.name,
             assignment=method,
+            diagnostics=list(diagnostics),
         )
 
     # -- helpers ----------------------------------------------------------
@@ -143,8 +216,100 @@ class AlignmentAlgorithm:
         if source.num_nodes == 0 or target.num_nodes == 0:
             raise AlgorithmError("cannot align empty graphs")
 
+    def _preflight(
+        self, source: Graph, target: Graph,
+    ) -> Optional[Tuple[Graph, Graph,
+                        Optional[np.ndarray], Optional[np.ndarray]]]:
+        """Check the declared input contract; mitigate, refuse, or skip.
+
+        Returns ``(run_source, run_target, source_nodes, target_nodes)``:
+        the (possibly restricted) graphs to actually run on, plus the
+        original node ids behind each restricted graph's rows (``None``
+        when no restriction was applied).  Raises
+        :class:`~repro.exceptions.PreflightError` — after recording a
+        ``contract_violation`` diagnostic — when the *given* input is
+        below ``min_nodes`` (a caller error); returns ``None`` when the
+        contract fails only after the largest-component mitigation (a
+        data condition — the caller degrades to an all-unmatched result).
+        """
+        info = self.info
+        min_nodes = int(getattr(info, "min_nodes", 1))
+        self._check_min_nodes(source, target, min_nodes, mitigated=False)
+
+        if not getattr(info, "requires_connected", False):
+            return source, target, None, None
+        source_ok = is_connected(source)
+        target_ok = is_connected(target)
+        if source_ok and target_ok:
+            return source, target, None, None
+
+        run_source, source_nodes = self._restrict(source, "source", source_ok)
+        run_target, target_nodes = self._restrict(target, "target", target_ok)
+        if not self._check_min_nodes(run_source, run_target, min_nodes,
+                                     mitigated=True):
+            return None
+        return run_source, run_target, source_nodes, target_nodes
+
+    def _restrict(self, graph: Graph, role: str,
+                  connected: bool) -> Tuple[Graph, np.ndarray]:
+        """Largest-component restriction for one side, with a diagnostic."""
+        if connected:
+            return graph, np.arange(graph.num_nodes, dtype=np.int64)
+        subgraph, nodes = largest_connected_component(graph)
+        record_diagnostic(
+            "preflight", "disconnected_input",
+            f"{self.info.name} requires a connected input but the {role} "
+            f"graph is disconnected; restricted to its largest component "
+            f"({subgraph.num_nodes} of {graph.num_nodes} nodes, nodes "
+            f"outside it left unmatched)",
+            fallback_used="largest_connected_component",
+        )
+        return subgraph, nodes
+
+    def _check_min_nodes(self, source: Graph, target: Graph,
+                         min_nodes: int, mitigated: bool) -> bool:
+        """True when both graphs satisfy ``min_nodes``.
+
+        Below the floor: raises :class:`PreflightError` for raw inputs
+        (``mitigated=False``); returns False for post-mitigation graphs,
+        recording the degraded-skip diagnostic either way.
+        """
+        for role, graph in (("source", source), ("target", target)):
+            if graph.num_nodes < min_nodes:
+                where = ("largest connected component of the "
+                         f"{role} graph" if mitigated else f"{role} graph")
+                message = (
+                    f"{self.info.name} requires at least {min_nodes} nodes "
+                    f"but the {where} has {graph.num_nodes}"
+                )
+                if mitigated:
+                    record_diagnostic(
+                        "preflight", "contract_violation",
+                        f"{message}; returning an all-unmatched result",
+                        fallback_used="unmatched_result",
+                    )
+                    return False
+                record_diagnostic("preflight", "contract_violation", message)
+                raise PreflightError(message)
+        return True
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+
+def _expand_mapping(mapping: np.ndarray, source_nodes: np.ndarray,
+                    target_nodes: np.ndarray, num_source: int) -> np.ndarray:
+    """Lift a mapping computed on restricted graphs back to original ids.
+
+    ``mapping[i]`` indexes rows/columns of the restricted graphs;
+    ``source_nodes``/``target_nodes`` carry the original ids behind those
+    rows.  Source nodes outside the restriction stay unmatched (-1) — the
+    honest outcome of the largest-component mitigation.
+    """
+    full = np.full(num_source, -1, dtype=np.int64)
+    matched = np.flatnonzero(mapping >= 0)
+    full[source_nodes[matched]] = target_nodes[mapping[matched]]
+    return full
 
 
 ALGORITHM_REGISTRY: Dict[str, Type[AlignmentAlgorithm]] = {}

@@ -77,6 +77,10 @@ class Cone(AlignmentAlgorithm):
         optimizes="mnc",
         time_complexity="O(n^2)",
         parameters={"dim": 512},
+        # NetMF factorizes log proximities of the random walk, which is
+        # ill-defined across components; align on the largest component.
+        requires_connected=True,
+        min_nodes=2,
     )
 
     def __init__(self, dim: int = 128, window: int = 10, negative: float = 1.0,

@@ -63,6 +63,10 @@ class Grasp(AlignmentAlgorithm):
         optimizes="any",
         time_complexity="O(n^3)",
         parameters={"q": 100, "k": 20},
+        # The spectrum degenerates on disconnected graphs (repeated zero
+        # eigenvalue) — the failure mode the paper reports in §6.4.2.
+        requires_connected=True,
+        min_nodes=2,
     )
 
     def __init__(self, k: int = 20, q: int = 100,

@@ -18,6 +18,7 @@ from repro.assignment.greedy import (
 )
 from repro.assignment.jv import jonker_volgenant
 from repro.assignment.sparse import sparse_max_weight_matching
+from repro.diagnostics import record_diagnostic
 from repro.exceptions import AssignmentError
 
 __all__ = ["ASSIGNMENT_METHODS", "extract_alignment"]
@@ -32,6 +33,13 @@ def extract_alignment(similarity, method: str = "jv") -> np.ndarray:
     similar.  The result maps each source row to a target column (-1 when
     unmatched).  ``"mwm"`` honors sparsity (absent entries are ineligible);
     every other method densifies sparse input.
+
+    When the exact JV solver reports an infeasible problem on an otherwise
+    valid (finite) matrix, the SortGreedy back-end is used instead and a
+    ``lap_infeasible`` diagnostic records the substitution — the sweep
+    degrades per the paper's protocol rather than losing the cell.
+    Non-finite input still raises: that is a caller bug (or a watchdog
+    bypass), not a solvable degradation.
     """
     if method not in ASSIGNMENT_METHODS:
         raise AssignmentError(
@@ -47,4 +55,16 @@ def extract_alignment(similarity, method: str = "jv") -> np.ndarray:
         return nearest_neighbor_one_to_one(similarity)
     if method == "sg":
         return sort_greedy(similarity)
-    return jonker_volgenant(similarity)
+    try:
+        return jonker_volgenant(similarity)
+    except AssignmentError as exc:
+        dense = np.asarray(similarity)
+        if not np.all(np.isfinite(dense)):
+            raise  # non-finite input: fail loudly, greedy would mask it
+        record_diagnostic(
+            "assignment", "lap_infeasible",
+            f"exact JV assignment failed ({exc}); "
+            "SortGreedy matching used instead",
+            fallback_used="sg",
+        )
+        return sort_greedy(dense)

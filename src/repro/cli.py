@@ -61,6 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
     align.add_argument("--seed", type=int, default=0)
     align.add_argument("--refine", action="store_true",
                        help="apply matched-neighborhood refinement")
+    align.add_argument("--strict-numerics", action="store_true",
+                       help="fail fast on NaN/Inf/zero similarity matrices "
+                            "instead of sanitize-and-warn")
     align.add_argument("--output", default=None,
                        help="write 'source target' mapping lines here "
                             "(default: stdout)")
@@ -117,6 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "processes (default 1 = serial); results and "
                           "journal semantics are identical to a serial "
                           "run")
+    exp.add_argument("--strict-numerics", action="store_true",
+                     help="numerical watchdog fails cells on NaN/Inf/zero "
+                          "similarity matrices instead of sanitizing and "
+                          "recording a degraded cell")
     return parser
 
 
@@ -143,11 +150,17 @@ def _cmd_datasets(args, out) -> int:
 
 
 def _cmd_align(args, out) -> int:
+    from repro.numerics import numerics_policy
+
     source = read_edgelist(args.source)
     target = read_edgelist(args.target)
     algorithm = get_algorithm(args.method)
-    result = algorithm.align(source, target, assignment=args.assignment,
-                             seed=args.seed)
+    policy = "strict" if args.strict_numerics else "sanitize"
+    with numerics_policy(policy):
+        result = algorithm.align(source, target, assignment=args.assignment,
+                                 seed=args.seed)
+    for diagnostic in result.diagnostics:
+        out.write(f"# diagnostic: {diagnostic}\n")
     mapping = result.mapping
     if args.refine:
         from repro.algorithms.refine import refine_alignment
@@ -197,6 +210,7 @@ def _cmd_experiment(args, out) -> int:
         budget=budget,
         retry_policy=retry,
         workers=args.workers,
+        strict_numerics=args.strict_numerics,
     )
     table = run_experiment(config, {args.dataset: graph},
                            journal=args.journal)
@@ -208,6 +222,12 @@ def _cmd_experiment(args, out) -> int:
               f"{args.reps} repetitions:\n")
     out.write(table.format_grid("algorithm", "noise_level", args.measure))
     out.write("\n")
+    out.write(f"cells: {len(table.clean())} clean, "
+              f"{len(table.degraded())} degraded, "
+              f"{len(table) - len(table.successful())} failed\n")
+    for name, kinds in sorted(table.diagnostic_counts().items()):
+        for key, count in sorted(kinds.items()):
+            out.write(f"  {name}: {key} x{count}\n")
     if args.csv:
         table.to_csv(args.csv)
         out.write(f"raw records written to {args.csv}\n")

@@ -36,6 +36,26 @@ class ConvergenceError(AlgorithmError):
     """An iterative solver failed to converge within its iteration budget."""
 
 
+class NumericsError(AlgorithmError):
+    """The numerical watchdog found an invalid matrix under strict policy.
+
+    Raised when NaN/Inf (or an all-zero similarity) is detected between
+    pipeline stages and the active policy is ``"strict"`` — see
+    :mod:`repro.numerics`.
+    """
+
+
+class PreflightError(AlgorithmError):
+    """An input violates an algorithm's declared contract with no mitigation.
+
+    Raised by the preflight check in
+    :meth:`repro.algorithms.base.AlignmentAlgorithm.align` when a declared
+    requirement (e.g. ``min_nodes``) cannot be satisfied by the documented
+    mitigation; the harness turns it into a skipped/failed record carrying
+    the preflight diagnostic.
+    """
+
+
 class DatasetError(ReproError):
     """A dataset name is unknown or a dataset file is malformed."""
 

@@ -20,6 +20,19 @@ inherited by child processes too — a ``hang`` fault exercises the
 wall-clock kill path and an ``allocate`` fault the memory cap.  Call
 counts are per process: each forked child starts from the parent's count
 at fork time.
+
+Two modes exercise the graceful-degradation layer rather than the
+process-level machinery:
+
+* ``"nan"`` poisons the similarity matrix the real algorithm computed
+  (first row set to NaN), proving the numerical watchdog fires — the cell
+  degrades (sanitize policy) or fails (strict policy) instead of quietly
+  producing a meaningless alignment;
+* ``"disconnect"`` splits both input graphs into two components before
+  the run, proving the preflight contract fires for
+  connectivity-requiring algorithms (``requires_connected``).  For this
+  mode the call counter counts ``align()`` invocations, since the fault
+  must act before the similarity stage.
 """
 
 from __future__ import annotations
@@ -29,13 +42,15 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
+from scipy import sparse as _sparse
 
 from repro.algorithms.base import ALGORITHM_REGISTRY
 from repro.exceptions import ConvergenceError, ExperimentError
+from repro.graphs.graph import Graph
 
 __all__ = ["FaultSpec", "FaultHandle", "inject_fault"]
 
-_MODES = ("raise", "hang", "allocate")
+_MODES = ("raise", "hang", "allocate", "nan", "disconnect")
 
 # Per-process call counts, keyed by algorithm name (lowercase).
 _CALL_COUNTS: Dict[str, int] = {}
@@ -51,11 +66,16 @@ class FaultSpec:
         ``"raise"`` raises ``exc``; ``"hang"`` sleeps ``hang_seconds``
         (long past any test budget); ``"allocate"`` grows memory until
         the process's limit raises :class:`MemoryError` (or until
-        ``allocate_limit_bytes``, as a safety valve on uncapped hosts).
+        ``allocate_limit_bytes``, as a safety valve on uncapped hosts);
+        ``"nan"`` runs the real similarity stage then poisons its output
+        with NaN (exercises the numerical watchdog); ``"disconnect"``
+        splits both input graphs into two components before the run
+        (exercises preflight contracts).
     on_call:
-        1-indexed similarity call that triggers the fault; ``None``
-        triggers on every call.  Non-triggering calls run the real
-        algorithm untouched.
+        1-indexed call that triggers the fault; ``None`` triggers on
+        every call.  Non-triggering calls run the real algorithm
+        untouched.  For ``"disconnect"`` the counter counts ``align()``
+        invocations; for all other modes it counts similarity calls.
     """
 
     mode: str = "raise"
@@ -88,8 +108,37 @@ class FaultHandle:
 
     @property
     def calls(self) -> int:
-        """Similarity calls seen so far in *this* process."""
+        """Counted calls seen so far in *this* process.
+
+        Similarity calls for most modes; ``align()`` calls for the
+        ``"disconnect"`` mode.
+        """
         return _CALL_COUNTS.get(self._key, 0)
+
+
+def _poison_similarity(similarity):
+    """Real similarity output with its first row overwritten by NaN."""
+    dense = (similarity.toarray() if _sparse.issparse(similarity)
+             else np.array(similarity, dtype=np.float64, copy=True))
+    if dense.size:
+        dense[0, :] = np.nan
+    return dense
+
+
+def _split_components(graph: Graph) -> Graph:
+    """The graph with every edge crossing its node-index midpoint removed.
+
+    Guarantees at least two connected components for any graph with two
+    or more nodes (each half is non-empty and nothing joins them);
+    graphs smaller than that are returned unchanged.
+    """
+    n = graph.num_nodes
+    if n < 2:
+        return graph
+    edges = graph.edges()
+    half = n // 2
+    same_side = (edges[:, 0] < half) == (edges[:, 1] < half)
+    return Graph(n, edges[same_side])
 
 
 def _fire(spec: FaultSpec) -> None:
@@ -133,9 +182,23 @@ class inject_fault:
         key, spec, original = self.key, self.spec, self._original
 
         class _Faulty(original):
+            def align(self, source, target, **kwargs):
+                if spec.mode == "disconnect":
+                    _CALL_COUNTS[key] = _CALL_COUNTS.get(key, 0) + 1
+                    if spec.triggers(_CALL_COUNTS[key]):
+                        source = _split_components(source)
+                        target = _split_components(target)
+                return super().align(source, target, **kwargs)
+
             def _similarity(self, source, target, rng):
+                if spec.mode == "disconnect":
+                    # counted at align() level; run the real stage
+                    return super()._similarity(source, target, rng)
                 _CALL_COUNTS[key] = _CALL_COUNTS.get(key, 0) + 1
                 if spec.triggers(_CALL_COUNTS[key]):
+                    if spec.mode == "nan":
+                        sim = super()._similarity(source, target, rng)
+                        return _poison_similarity(sim)
                     _fire(spec)
                 return super()._similarity(source, target, rng)
 

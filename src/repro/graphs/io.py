@@ -31,7 +31,9 @@ def read_edgelist(path: PathLike, relabel: bool = True,
         (weights, timestamps) are ignored.
     relabel:
         Compact node ids to ``0..n-1`` (sorted by original id).  When False,
-        ids are used verbatim and must already be contiguous.
+        ids are used verbatim and must already be contiguous ``0..n-1``;
+        a file violating that raises :class:`DatasetError` (a gap would
+        otherwise silently materialize as isolated phantom nodes).
     return_mapping:
         Also return ``{original_id: new_id}`` (only with ``relabel=True``).
     """
@@ -63,7 +65,20 @@ def read_edgelist(path: PathLike, relabel: bool = True,
         graph = Graph(ids.size, lookup[edges])
         return (graph, remap) if return_mapping else graph
 
+    if edges.min() < 0:
+        raise DatasetError(
+            f"{path}: negative node id {int(edges.min())} with relabel=False; "
+            "pass relabel=True to compact ids"
+        )
+    ids = np.unique(edges)
     n = int(edges.max()) + 1
+    if ids.size != n:
+        missing = np.setdiff1d(np.arange(n), ids)
+        raise DatasetError(
+            f"{path}: node ids are not contiguous with relabel=False "
+            f"({ids.size} distinct ids, max id {n - 1}; first missing id "
+            f"{int(missing[0])}); pass relabel=True to compact ids"
+        )
     graph = Graph(n, edges)
     return (graph, {i: i for i in range(n)}) if return_mapping else graph
 

@@ -81,7 +81,7 @@ def _apply_memory_limit(memory_bytes: int) -> None:
 
 
 def _child(connection, algorithm_name, pair, assignment, measures, seed,
-           algorithm_params, track_memory, memory_bytes):
+           algorithm_params, track_memory, memory_bytes, strict_numerics):
     """Child-process body: apply limits, run the cell, ship the record."""
     if memory_bytes is not None:
         _apply_memory_limit(memory_bytes)
@@ -91,6 +91,7 @@ def _child(connection, algorithm_name, pair, assignment, measures, seed,
             algorithm_name, pair, dataset="", repetition=0,
             assignment=assignment, measures=measures, seed=seed,
             track_memory=track_memory, algorithm_params=algorithm_params,
+            strict_numerics=strict_numerics,
         )
         connection.send(record)
     except BaseException as exc:  # never let the child die silently
@@ -142,6 +143,7 @@ def run_cell_with_budget(
     seed: int = 0,
     track_memory: bool = False,
     algorithm_params: Optional[Dict] = None,
+    strict_numerics: bool = False,
 ) -> RunRecord:
     """Run one cell in a child process under a :class:`CellBudget`.
 
@@ -149,6 +151,8 @@ def run_cell_with_budget(
     whose ``error`` names the breakdown: ``"timeout after ...s"`` past the
     deadline, the ``MemoryError`` the rlimit provoked, or ``"child process
     died without result (exit code ...)"`` for abnormal deaths.
+    ``strict_numerics`` is applied inside the child (the numerics policy
+    is per-process state and does not cross the fork boundary otherwise).
     """
     ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() \
         else mp.get_context()
@@ -156,7 +160,8 @@ def run_cell_with_budget(
     process = ctx.Process(
         target=_child,
         args=(child_conn, algorithm_name, pair, assignment, tuple(measures),
-              seed, algorithm_params, track_memory, budget.memory_bytes),
+              seed, algorithm_params, track_memory, budget.memory_bytes,
+              strict_numerics),
     )
     process.start()
     child_conn.close()

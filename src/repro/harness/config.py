@@ -105,7 +105,9 @@ class ExperimentConfig:
     Execution knobs (``budget``, ``retry_policy``, ``workers``) change how
     cells run, never what they compute — they are excluded from the
     journal fingerprint and a ``workers=N`` sweep yields the same records
-    as a serial one.
+    as a serial one.  ``strict_numerics`` is *not* such a knob: it changes
+    cell outcomes (a sanitized-and-degraded cell becomes a failed one), so
+    it participates in the fingerprint when enabled.
     """
 
     name: str
@@ -121,6 +123,7 @@ class ExperimentConfig:
     budget: Optional[CellBudget] = None       # run cells in capped children
     retry_policy: Optional[RetryPolicy] = None  # re-attempt transient fails
     workers: int = 1  # >1 fans instances out to a process pool
+    strict_numerics: bool = False  # watchdog fail-fast instead of sanitize
 
     def __post_init__(self):
         if not self.algorithms:

@@ -77,7 +77,10 @@ def config_fingerprint(config) -> str:
     ``algorithm_params`` cannot silently absorb records produced under
     another.  Deliberately excludes execution knobs (budgets, retries,
     memory tracking, worker count) so hardening or parallelizing a rerun
-    does not orphan an existing journal.
+    does not orphan an existing journal.  ``strict_numerics`` *is*
+    covered (only when enabled, so fingerprints of default-policy configs
+    are unchanged): under the strict policy a cell that would merely
+    degrade fails instead, and a journal must not mix the two regimes.
     """
     payload = {
         "name": config.name,
@@ -95,6 +98,8 @@ def config_fingerprint(config) -> str:
         "measures": list(config.measures),
         "seed": int(config.seed),
     }
+    if getattr(config, "strict_numerics", False):
+        payload["strict_numerics"] = True
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"),
                            default=repr)
     return hashlib.blake2b(canonical.encode("utf-8"),

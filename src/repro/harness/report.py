@@ -2,9 +2,10 @@
 
 Turns a :class:`~repro.harness.results.ResultTable` into a self-contained
 markdown document: metadata, one measure grid per noise type, a terminal
-line chart for the headline measure, and a failure inventory.  This is
-what a user shares from a custom experiment; the bench suite's text
-reports are its sibling.
+line chart for the headline measure, a degradation summary (clean vs
+degraded vs failed cells per algorithm, with the diagnostic kinds behind
+each degradation), and a failure inventory.  This is what a user shares
+from a custom experiment; the bench suite's text reports are its sibling.
 """
 
 from __future__ import annotations
@@ -49,7 +50,9 @@ def markdown_report(
     noise_types = sorted({r.noise_type for r in records})
     lines.append(
         f"- records: {len(records)} "
-        f"({sum(1 for r in records if r.failed)} failed)"
+        f"({sum(1 for r in records if r.status == 'clean')} clean, "
+        f"{sum(1 for r in records if r.status == 'degraded')} degraded, "
+        f"{sum(1 for r in records if r.failed)} failed)"
     )
     lines.append(f"- datasets: {', '.join(datasets) or '(none)'}")
     lines.append(f"- noise types: {', '.join(noise_types) or '(none)'}")
@@ -81,6 +84,24 @@ def markdown_report(
         lines.append(line_plot(series, x_label="noise"))
         lines.append("```")
         lines.append("")
+
+    statuses = table.status_counts(by="algorithm")
+    if any(c["degraded"] or c["failed"] for c in statuses.values()):
+        lines.append("## degradation summary")
+        lines.append("")
+        lines.append("| algorithm | clean | degraded | failed |")
+        lines.append("|---|---|---|---|")
+        for name in sorted(statuses):
+            c = statuses[name]
+            lines.append(f"| {name} | {c['clean']} | {c['degraded']} "
+                         f"| {c['failed']} |")
+        lines.append("")
+        diag_counts = table.diagnostic_counts(by="algorithm")
+        for name in sorted(diag_counts):
+            for key, count in sorted(diag_counts[name].items()):
+                lines.append(f"- {name}: {key} ×{count}")
+        if any(diag_counts.values()):
+            lines.append("")
 
     failures = [r for r in records if r.failed]
     if failures:

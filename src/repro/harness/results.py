@@ -19,9 +19,24 @@ from repro.exceptions import ExperimentError
 __all__ = ["RunRecord", "ResultTable"]
 
 
+def _compact_diagnostic(entry: Dict[str, str]) -> str:
+    """``stage/kind->fallback`` (or ``stage/kind`` for pure warnings)."""
+    base = f"{entry.get('stage', '?')}/{entry.get('kind', '?')}"
+    fallback = entry.get("fallback_used", "")
+    return f"{base}->{fallback}" if fallback else base
+
+
 @dataclass(frozen=True)
 class RunRecord:
-    """One measured run of one algorithm on one alignment instance."""
+    """One measured run of one algorithm on one alignment instance.
+
+    ``diagnostics`` carries the cell's graceful-degradation events as
+    plain dicts (:meth:`repro.diagnostics.Diagnostic.to_dict` output) so
+    records serialize to the journal unchanged.  A record is *clean* when
+    it neither failed nor degraded, *degraded* when it succeeded but some
+    fallback or mitigation fired, and *failed* otherwise — see
+    :attr:`status`.
+    """
 
     algorithm: str
     dataset: str
@@ -36,6 +51,14 @@ class RunRecord:
     failed: bool = False
     error: str = ""
     attempts: int = 1
+    diagnostics: List[Dict[str, str]] = field(default_factory=list)
+
+    @property
+    def status(self) -> str:
+        """``"failed"``, ``"degraded"``, or ``"clean"``."""
+        if self.failed:
+            return "failed"
+        return "degraded" if self.diagnostics else "clean"
 
     def to_dict(self) -> Dict[str, object]:
         """A JSON-serializable dict (the journal's on-disk form)."""
@@ -46,13 +69,18 @@ class RunRecord:
         """Rebuild a record from :meth:`to_dict` output.
 
         Unknown keys are ignored so journals written by newer versions of
-        the package still load.
+        the package still load; records journaled before the diagnostics
+        field existed load with no diagnostics.
         """
         names = {f.name for f in cls.__dataclass_fields__.values()}
         kept = {key: value for key, value in data.items() if key in names}
         kept["measures"] = {
             str(k): float(v) for k, v in dict(kept.get("measures", {})).items()
         }
+        kept["diagnostics"] = [
+            {str(k): str(v) for k, v in dict(entry).items()}
+            for entry in kept.get("diagnostics", [])
+        ]
         return cls(**kept)
 
     def value(self, key: str) -> float:
@@ -105,6 +133,40 @@ class ResultTable:
     def successful(self) -> "ResultTable":
         return ResultTable(r for r in self._records if not r.failed)
 
+    def clean(self) -> "ResultTable":
+        """Records that neither failed nor degraded."""
+        return ResultTable(r for r in self._records if r.status == "clean")
+
+    def degraded(self) -> "ResultTable":
+        """Successful records where a fallback or mitigation fired."""
+        return ResultTable(r for r in self._records if r.status == "degraded")
+
+    def status_counts(self, by: str = "algorithm") -> Dict[str, Dict[str, int]]:
+        """Per-group clean/degraded/failed counts (the paper's ✓/✗ ledger).
+
+        ``by`` is any record attribute (``"algorithm"``, ``"dataset"``...).
+        Every group reports all three statuses, zero-filled, so tables
+        render uniformly.
+        """
+        counts: Dict[str, Dict[str, int]] = {}
+        for r in self._records:
+            group = counts.setdefault(
+                str(getattr(r, by)),
+                {"clean": 0, "degraded": 0, "failed": 0},
+            )
+            group[r.status] += 1
+        return counts
+
+    def diagnostic_counts(self, by: str = "algorithm") -> Dict[str, Dict[str, int]]:
+        """Per-group counts of diagnostic events, keyed ``"stage/kind"``."""
+        counts: Dict[str, Dict[str, int]] = {}
+        for r in self._records:
+            group = counts.setdefault(str(getattr(r, by)), {})
+            for entry in r.diagnostics:
+                key = f"{entry.get('stage', '?')}/{entry.get('kind', '?')}"
+                group[key] = group.get(key, 0) + 1
+        return counts
+
     def mean(self, measure: str, **conditions) -> float:
         """Mean of a measure over matching successful records (NaN if none)."""
         values = [
@@ -134,17 +196,24 @@ class ResultTable:
     # ------------------------------------------------------------------
 
     def to_csv(self, path) -> None:
-        """Dump all records (one measure column per distinct measure name)."""
+        """Dump all records (one measure column per distinct measure name).
+
+        ``status`` distinguishes clean/degraded/failed cells and
+        ``diagnostics`` compacts the events as ``stage/kind->fallback``
+        (``;``-joined) so degradations survive into spreadsheet-land.
+        """
         measure_keys = sorted({k for r in self._records for k in r.measures})
         fixed = ["algorithm", "dataset", "noise_type", "noise_level",
                  "repetition", "assignment", "similarity_time",
                  "assignment_time", "peak_memory_bytes", "failed", "error",
-                 "attempts"]
+                 "attempts", "status"]
         with open(path, "w", newline="") as handle:
             writer = csv.writer(handle)
-            writer.writerow(fixed + measure_keys)
+            writer.writerow(fixed + ["diagnostics"] + measure_keys)
             for r in self._records:
                 row = [getattr(r, name) for name in fixed]
+                row.append("; ".join(_compact_diagnostic(d)
+                                     for d in r.diagnostics))
                 row += [r.measures.get(k, "") for k in measure_keys]
                 writer.writerow(row)
 

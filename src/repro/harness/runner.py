@@ -22,7 +22,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.algorithms import get_algorithm
 from repro.algorithms.base import AlignmentAlgorithm
+from repro.diagnostics import capture_diagnostics
 from repro.exceptions import ExperimentError
+from repro.numerics import numerics_policy
 from repro.harness.config import ExperimentConfig
 from repro.harness.journal import (
     RunJournal,
@@ -86,6 +88,7 @@ def run_on_pair(
         "assignment_time": result.assignment_time,
         "peak_memory_bytes": int(peak),
         "mapping": result.mapping,
+        "diagnostics": [d.to_dict() for d in result.diagnostics],
     }
 
 
@@ -99,6 +102,7 @@ def run_cell(
     seed: int = 0,
     track_memory: bool = False,
     algorithm_params: Optional[dict] = None,
+    strict_numerics: bool = False,
 ) -> RunRecord:
     """One (algorithm × instance × repetition) cell as a :class:`RunRecord`.
 
@@ -108,43 +112,54 @@ def run_cell(
     protocol turns failures into ✗ marks, never into an aborted matrix.
     The record's ``error`` starts with ``"ClassName: message"`` (the form
     retry policies match on) followed by the traceback tail.
+
+    Graceful-degradation events (preflight mitigations, watchdog repairs,
+    solver fallbacks) are collected into the record's ``diagnostics`` —
+    on failed records too, so a cell that degraded *and then* failed
+    keeps its trail.  ``strict_numerics=True`` switches the numerical
+    watchdog from sanitize-and-warn to fail-fast for this cell.
     """
-    try:
-        algorithm = get_algorithm(algorithm_name, **(algorithm_params or {}))
-        outcome = run_on_pair(algorithm, pair, assignment=assignment,
-                              measures=measures, seed=seed,
-                              track_memory=track_memory)
-        return RunRecord(
-            algorithm=algorithm_name,
-            dataset=dataset,
-            noise_type=pair.noise_type,
-            noise_level=pair.noise_level,
-            repetition=repetition,
-            assignment=assignment,
-            measures=outcome["measures"],
-            similarity_time=outcome["similarity_time"],
-            assignment_time=outcome["assignment_time"],
-            peak_memory_bytes=outcome["peak_memory_bytes"],
-        )
-    except Exception as exc:
-        # Everything from ReproError/LinAlgError/MemoryError down to an
-        # unexpected ValueError or ArpackError inside one solver: all
-        # become ✗ records.  KeyboardInterrupt/SystemExit are not
-        # Exception subclasses and still propagate (the user aborts, the
-        # sweep does not eat it).
-        return RunRecord(
-            algorithm=algorithm_name,
-            dataset=dataset,
-            noise_type=pair.noise_type,
-            noise_level=pair.noise_level,
-            repetition=repetition,
-            assignment=assignment,
-            measures={},
-            similarity_time=0.0,
-            assignment_time=0.0,
-            failed=True,
-            error=_describe_failure(exc),
-        )
+    policy = "strict" if strict_numerics else "sanitize"
+    with capture_diagnostics() as events, numerics_policy(policy):
+        try:
+            algorithm = get_algorithm(algorithm_name,
+                                      **(algorithm_params or {}))
+            outcome = run_on_pair(algorithm, pair, assignment=assignment,
+                                  measures=measures, seed=seed,
+                                  track_memory=track_memory)
+            return RunRecord(
+                algorithm=algorithm_name,
+                dataset=dataset,
+                noise_type=pair.noise_type,
+                noise_level=pair.noise_level,
+                repetition=repetition,
+                assignment=assignment,
+                measures=outcome["measures"],
+                similarity_time=outcome["similarity_time"],
+                assignment_time=outcome["assignment_time"],
+                peak_memory_bytes=outcome["peak_memory_bytes"],
+                diagnostics=outcome["diagnostics"],
+            )
+        except Exception as exc:
+            # Everything from ReproError/LinAlgError/MemoryError down to an
+            # unexpected ValueError or ArpackError inside one solver: all
+            # become ✗ records.  KeyboardInterrupt/SystemExit are not
+            # Exception subclasses and still propagate (the user aborts, the
+            # sweep does not eat it).
+            return RunRecord(
+                algorithm=algorithm_name,
+                dataset=dataset,
+                noise_type=pair.noise_type,
+                noise_level=pair.noise_level,
+                repetition=repetition,
+                assignment=assignment,
+                measures={},
+                similarity_time=0.0,
+                assignment_time=0.0,
+                failed=True,
+                error=_describe_failure(exc),
+                diagnostics=[d.to_dict() for d in events],
+            )
 
 
 def _describe_failure(exc: BaseException, tail_lines: int = 4) -> str:
@@ -381,6 +396,8 @@ def _run_sweep_parallel(config, graphs, factory, progress,
 def _execute_cell(config: ExperimentConfig, name: str, pair: GraphPair,
                   dataset: str, rep: int, seed: int) -> RunRecord:
     """One cell under the config's budget and retry policy."""
+    strict = bool(getattr(config, "strict_numerics", False))
+
     def attempt(_attempt_number: int) -> RunRecord:
         if config.budget is not None:
             from repro.harness.budget import run_cell_with_budget
@@ -391,6 +408,7 @@ def _execute_cell(config: ExperimentConfig, name: str, pair: GraphPair,
                 seed=seed,
                 track_memory=config.track_memory,
                 algorithm_params=config.algorithm_params.get(name),
+                strict_numerics=strict,
             )
         return run_cell(
             name, pair, dataset, rep,
@@ -399,6 +417,7 @@ def _execute_cell(config: ExperimentConfig, name: str, pair: GraphPair,
             seed=seed,
             track_memory=config.track_memory,
             algorithm_params=config.algorithm_params.get(name),
+            strict_numerics=strict,
         )
 
     if config.retry_policy is not None:

@@ -37,6 +37,7 @@ def run_cell_with_timeout(
     algorithm_params: Optional[Dict] = None,
     memory_limit_bytes: Optional[int] = None,
     grace_seconds: float = 2.0,
+    strict_numerics: bool = False,
 ) -> RunRecord:
     """Run one cell in a child process, killed at ``timeout_seconds``.
 
@@ -55,5 +56,5 @@ def run_cell_with_timeout(
     return run_cell_with_budget(
         algorithm_name, pair, dataset, repetition, budget,
         assignment=assignment, measures=measures, seed=seed,
-        algorithm_params=algorithm_params,
+        algorithm_params=algorithm_params, strict_numerics=strict_numerics,
     )

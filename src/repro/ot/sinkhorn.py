@@ -12,6 +12,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.diagnostics import record_diagnostic
 from repro.exceptions import AlgorithmError, ConvergenceError
 
 __all__ = ["sinkhorn"]
@@ -47,6 +48,14 @@ def sinkhorn(
     c = np.asarray(cost, dtype=np.float64)
     if c.ndim != 2:
         raise AlgorithmError(f"cost must be 2-D, got ndim={c.ndim}")
+    if not np.all(np.isfinite(c)):
+        # Match the finite checks of the assignment solvers: NaN/Inf in
+        # the cost would silently poison the returned plan.
+        bad = c.size - int(np.isfinite(c).sum())
+        raise AlgorithmError(
+            f"Sinkhorn cost matrix contains {bad} non-finite entries "
+            f"(of {c.size})"
+        )
     if epsilon <= 0:
         raise AlgorithmError(f"epsilon must be positive, got {epsilon}")
     n, m = c.shape
@@ -65,6 +74,7 @@ def sinkhorn(
         return (peak + np.log(np.exp(mat - peak).sum(axis=axis, keepdims=True))).squeeze(axis)
 
     converged = False
+    shift = np.inf
     for _ in range(max_iter):
         f_new = epsilon * (log_mu - _logsumexp(scaled + g[np.newaxis, :] / epsilon, axis=1))
         g_new = epsilon * (
@@ -75,8 +85,21 @@ def sinkhorn(
         if shift < tol:
             converged = True
             break
-    if not converged and raise_on_failure:
-        raise ConvergenceError(f"Sinkhorn did not converge in {max_iter} iterations")
+    if not converged:
+        if raise_on_failure:
+            raise ConvergenceError(
+                f"Sinkhorn did not converge in {max_iter} iterations"
+            )
+        # Returning the current plan is the documented fallback (the
+        # iterative GW solvers only need an approximate inner solve) —
+        # make it observable instead of silent.
+        record_diagnostic(
+            "sinkhorn", "nonconvergence",
+            f"no convergence in {max_iter} iterations "
+            f"(last potential shift {shift:.3e}, tol {tol:.1e}); "
+            "returning the current plan",
+            fallback_used="current_plan",
+        )
     plan = np.exp(scaled + f[:, np.newaxis] / epsilon + g[np.newaxis, :] / epsilon)
     # One exact row rescale keeps the mu-marginal tight.
     row = plan.sum(axis=1)

@@ -15,8 +15,9 @@ from typing import Sequence, Tuple
 import numpy as np
 from scipy import sparse
 from scipy.linalg import eigh
-from scipy.sparse.linalg import eigsh
+from scipy.sparse.linalg import ArpackError, eigsh
 
+from repro.diagnostics import record_diagnostic
 from repro.exceptions import AlgorithmError
 from repro.graphs.graph import Graph
 from repro.graphs.matrices import normalized_laplacian
@@ -60,7 +61,16 @@ def laplacian_eigenpairs(graph: Graph, k: int | None = None) -> Tuple[np.ndarray
         # sigma=0 shift-invert targets the smallest eigenvalues reliably.
         try:
             vals, vecs = eigsh(lap, k=k, sigma=-1e-6, which="LM")
-        except Exception:  # Lanczos breakdown: fall back to dense
+        except ArpackError as exc:
+            # Lanczos breakdown / no convergence: fall back to dense.
+            # Only ARPACK's own failures are absorbed — a shape error or
+            # any other bug still propagates instead of being masked.
+            record_diagnostic(
+                "spectral", "eigsh_failure",
+                f"sparse eigsh failed on n={n}, k={k} "
+                f"({type(exc).__name__}: {exc}); dense eigh fallback",
+                fallback_used="dense_eigh",
+            )
             dense = lap.toarray()
             vals, vecs = eigh(dense)
             vals, vecs = vals[:k], vecs[:, :k]

@@ -163,3 +163,54 @@ class TestSweepSurvivesAllocation:
         assert len(table) == 2
         assert table.filter(algorithm="isorank").records[0].failed
         assert not table.filter(algorithm="nsd").records[0].failed
+
+
+class TestDegradationFaultModes:
+    def test_nan_mode_poisons_similarity(self):
+        from repro.faults import _poison_similarity
+
+        poisoned = _poison_similarity(np.ones((4, 4)))
+        assert np.isnan(poisoned[0]).all()
+        assert np.isfinite(poisoned[1:]).all()
+
+    def test_nan_mode_degrades_cell_not_fails(self):
+        with inject_fault("isorank", FaultSpec(mode="nan")):
+            record = run_cell("isorank", PAIR, "pl", 0)
+        assert not record.failed
+        assert record.status == "degraded"
+        assert any(d["kind"] == "nonfinite_similarity"
+                   for d in record.diagnostics)
+
+    def test_nan_mode_nth_call(self):
+        spec = FaultSpec(mode="nan", on_call=2)
+        with inject_fault("isorank", spec):
+            first = run_cell("isorank", PAIR, "pl", 0)
+            second = run_cell("isorank", PAIR, "pl", 1)
+        assert first.status == "clean"
+        assert second.status == "degraded"
+
+    def test_disconnect_mode_splits_inputs(self):
+        from repro.faults import _split_components
+        from repro.graphs.operations import number_of_components
+
+        assert number_of_components(_split_components(GRAPH)) >= 2
+
+    def test_disconnect_mode_triggers_preflight(self):
+        with inject_fault("grasp", FaultSpec(mode="disconnect")) as handle:
+            record = run_cell("grasp", PAIR, "pl", 0)
+            assert handle.calls == 1  # counted per align(), not similarity
+        assert not record.failed
+        assert record.status == "degraded"
+        assert any(d["kind"] == "disconnected_input"
+                   for d in record.diagnostics)
+
+    def test_disconnect_mode_tolerant_algorithm_runs_clean(self):
+        with inject_fault("isorank", FaultSpec(mode="disconnect")):
+            record = run_cell("isorank", PAIR, "pl", 0)
+        assert not record.failed
+        assert not any(d["kind"] == "disconnected_input"
+                       for d in record.diagnostics)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ExperimentError):
+            FaultSpec(mode="explode")

@@ -69,3 +69,35 @@ class TestReading:
         path.write_text("# nothing\n")
         g = read_edgelist(path)
         assert g.num_nodes == 0
+
+
+class TestContiguityValidation:
+    def test_gap_in_ids_rejected_without_relabel(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 3\n")
+        with pytest.raises(DatasetError, match="not contiguous"):
+            read_edgelist(path, relabel=False)
+
+    def test_error_names_first_missing_id(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 5\n")
+        with pytest.raises(DatasetError, match="first missing id 2"):
+            read_edgelist(path, relabel=False)
+
+    def test_negative_id_rejected_without_relabel(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("-1 0\n")
+        with pytest.raises(DatasetError, match="negative"):
+            read_edgelist(path, relabel=False)
+
+    def test_relabel_accepts_gappy_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 3\n")
+        g = read_edgelist(path, relabel=True)
+        assert (g.num_nodes, g.num_edges) == (3, 2)
+
+    def test_contiguous_ids_still_accepted(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        g = read_edgelist(path, relabel=False)
+        assert (g.num_nodes, g.num_edges) == (3, 2)

@@ -140,3 +140,37 @@ class TestProcrustes:
     def test_shape_mismatch_rejected(self):
         with pytest.raises(AlgorithmError):
             orthogonal_procrustes(np.zeros((3, 2)), np.zeros((4, 2)))
+
+
+class TestSinkhornInputValidation:
+    def test_nan_cost_rejected(self):
+        cost = np.ones((3, 3))
+        cost[1, 1] = np.nan
+        with pytest.raises(AlgorithmError, match="non-finite"):
+            sinkhorn(cost)
+
+    def test_inf_cost_rejected(self):
+        cost = np.ones((3, 3))
+        cost[0, 2] = np.inf
+        with pytest.raises(AlgorithmError, match="non-finite"):
+            sinkhorn(cost)
+
+    def test_nonconvergence_records_diagnostic(self):
+        from repro.diagnostics import capture_diagnostics
+
+        rng = np.random.default_rng(3)
+        cost = rng.random((8, 8))
+        with capture_diagnostics() as events:
+            plan = sinkhorn(cost, epsilon=1e-4, max_iter=1, tol=1e-15)
+        assert np.all(np.isfinite(plan))
+        assert any(e.kind == "nonconvergence"
+                   and e.fallback_used == "current_plan" for e in events)
+
+    def test_convergence_records_nothing(self):
+        from repro.diagnostics import capture_diagnostics
+
+        rng = np.random.default_rng(3)
+        cost = rng.random((4, 4))
+        with capture_diagnostics() as events:
+            sinkhorn(cost, epsilon=1.0, max_iter=2000)
+        assert events == []

@@ -84,3 +84,38 @@ class TestHeatKernelDiagonals:
         vals, vecs = laplacian_eigenpairs(triangle)
         diags = heat_kernel_diagonals(vals, vecs, [0.5])
         assert np.allclose(diags[0], np.diag(expm(-0.5 * lap)))
+
+
+class TestEigshFallback:
+    def test_arpack_failure_falls_back_to_dense_with_diagnostic(self, monkeypatch):
+        from scipy.sparse.linalg import ArpackError
+
+        from repro.diagnostics import capture_diagnostics
+        from repro.spectral import decomposition
+
+        def _broken_eigsh(*args, **kwargs):
+            raise ArpackError(-9999, {-9999: "injected breakdown"})
+
+        monkeypatch.setattr(decomposition, "eigsh", _broken_eigsh)
+        graph = erdos_renyi_graph(650, 0.02, seed=3)  # above _DENSE_CUTOFF
+        with capture_diagnostics() as events:
+            vals, vecs = laplacian_eigenpairs(graph, k=4)
+        assert vals.shape == (4,)
+        assert vecs.shape == (650, 4)
+        assert np.all(np.diff(vals) >= 0)
+        assert any(e.kind == "eigsh_failure"
+                   and e.fallback_used == "dense_eigh" for e in events)
+
+    def test_non_arpack_error_propagates(self, monkeypatch):
+        from repro.diagnostics import capture_diagnostics
+        from repro.spectral import decomposition
+
+        def _buggy_eigsh(*args, **kwargs):
+            raise ValueError("a caller bug, not an ARPACK breakdown")
+
+        monkeypatch.setattr(decomposition, "eigsh", _buggy_eigsh)
+        graph = erdos_renyi_graph(650, 0.02, seed=3)
+        with capture_diagnostics() as events:
+            with pytest.raises(ValueError):
+                laplacian_eigenpairs(graph, k=4)
+        assert events == []
