@@ -7,7 +7,13 @@ IsoRank, CONE) hardest, while REGAL's feature stage degrades with degree
 too (the paper's Table 3 marks REGAL's time ✗ at extreme density).
 """
 
-from benchmarks.helpers import ALL_ALGORITHMS, emit, paper_note, run_matrix
+from benchmarks.helpers import (
+    ALL_ALGORITHMS,
+    emit,
+    paper_note,
+    run_matrix,
+    stage_breakdown,
+)
 from repro.graphs.generators import configuration_model_graph, normal_degree_sequence
 from repro.harness import ResultTable
 from repro.noise import make_pair
@@ -25,16 +31,18 @@ def _run(profile):
         pair = make_pair(graph, "one-way", 0.0, seed=degree)
         table.extend(run_matrix([(pair, 0)], _ALGOS, profile,
                                 dataset=f"deg={degree:05d}",
-                                measures=("accuracy",)).records)
+                                measures=("accuracy",),
+                                trace=True).records)
     return table
 
 
 def test_fig12_time_vs_degree(benchmark, profile, results_dir):
     table = benchmark.pedantic(_run, args=(profile,), rounds=1, iterations=1)
     emit(results_dir, "fig12_time_vs_degree",
-         "-- similarity-stage runtime [s] vs average degree --\n"
-         + table.format_grid("algorithm", "dataset", "similarity_time",
-                             fmt="{:.3f}"),
+         "-- similarity-stage runtime [s] vs average degree (traced) --\n"
+         + table.format_grid("algorithm", "dataset",
+                             "trace:similarity:wall_time", fmt="{:.3f}"),
+         "-- mean wall seconds per stage --\n" + stage_breakdown(table),
          paper_note("Density grows edge-dependent stages; sparse-friendly "
                     "NSD/LREA degrade most gracefully."))
 
@@ -42,8 +50,11 @@ def test_fig12_time_vs_degree(benchmark, profile, results_dir):
     lo = f"deg={degrees[0]:05d}"
     hi = f"deg={degrees[-1]:05d}"
     # NSD completes at every density and stays cheap.
-    assert table.mean("similarity_time", algorithm="nsd", dataset=hi) < 60.0
+    assert table.mean("trace:similarity:wall_time",
+                      algorithm="nsd", dataset=hi) < 60.0
     # Degree growth must not *reduce* REGAL's feature-stage cost.
-    t_lo = table.mean("similarity_time", algorithm="regal", dataset=lo)
-    t_hi = table.mean("similarity_time", algorithm="regal", dataset=hi)
+    t_lo = table.mean("trace:similarity:wall_time",
+                      algorithm="regal", dataset=lo)
+    t_hi = table.mean("trace:similarity:wall_time",
+                      algorithm="regal", dataset=hi)
     assert t_hi > 0.3 * t_lo

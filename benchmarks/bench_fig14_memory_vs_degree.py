@@ -7,7 +7,13 @@ of edges grows, its memory usage does not" — while edge-proportional
 stages (REGAL's k-hop features) do grow.
 """
 
-from benchmarks.helpers import ALL_ALGORITHMS, emit, paper_note, run_matrix
+from benchmarks.helpers import (
+    ALL_ALGORITHMS,
+    emit,
+    paper_note,
+    run_matrix,
+    stage_breakdown,
+)
 from repro.graphs.generators import configuration_model_graph, normal_degree_sequence
 from repro.harness import ResultTable
 from repro.noise import make_pair
@@ -26,23 +32,30 @@ def _run(profile):
         table.extend(run_matrix([(pair, 0)], _ALGOS, profile,
                                 dataset=f"deg={degree:05d}",
                                 measures=("accuracy",),
-                                track_memory=True).records)
+                                track_memory=True,
+                                trace=True).records)
     return table
 
 
 def test_fig14_memory_vs_degree(benchmark, profile, results_dir):
     table = benchmark.pedantic(_run, args=(profile,), rounds=1, iterations=1)
     emit(results_dir, "fig14_memory_vs_degree",
-         "-- peak traced memory [bytes] vs average degree --\n"
-         + table.format_grid("algorithm", "dataset", "peak_memory_bytes",
+         "-- peak similarity-stage memory [bytes] vs avg degree (traced) --\n"
+         + table.format_grid("algorithm", "dataset",
+                             "trace:similarity:peak_memory_bytes",
                              fmt="{:.3e}"),
+         "-- mean peak bytes per stage --\n"
+         + stage_breakdown(table, field="peak_memory_bytes", fmt="{:.2e}"),
          paper_note("n x n-state methods are density-insensitive; "
                     "edge-proportional stages grow with degree."))
 
     degrees = sorted(profile.scalability_degrees)
     lo = f"deg={degrees[0]:05d}"
     hi = f"deg={degrees[-1]:05d}"
-    # IsoRank's dense-state memory is density-insensitive (within 3x).
-    m_lo = table.mean("peak_memory_bytes", algorithm="isorank", dataset=lo)
-    m_hi = table.mean("peak_memory_bytes", algorithm="isorank", dataset=hi)
+    # IsoRank's dense-state similarity memory is density-insensitive
+    # (within 3x).
+    m_lo = table.mean("trace:similarity:peak_memory_bytes",
+                      algorithm="isorank", dataset=lo)
+    m_hi = table.mean("trace:similarity:peak_memory_bytes",
+                      algorithm="isorank", dataset=hi)
     assert m_hi < 3.0 * m_lo

@@ -9,7 +9,7 @@ IsoRank is comparatively good on low-degree graphs; GRASP is unstable when
 the NW model produces disjoint components.
 """
 
-from benchmarks.helpers import emit, paper_note, run_matrix
+from benchmarks.helpers import emit, paper_note, run_matrix, stage_breakdown
 from repro.graphs import newman_watts_graph
 from repro.harness import ResultTable
 from repro.noise import make_pair
@@ -32,14 +32,16 @@ def _run(profile):
                  for rep in range(profile.repetitions)]
         table.extend(run_matrix(pairs, _ALGOS, profile,
                                 dataset=f"p={p}",
-                                measures=("accuracy",)).records)
+                                measures=("accuracy",),
+                                trace=True).records)
     for k in _k_sweep(n):
         graph = newman_watts_graph(n, k, 0.5, seed=k)
         pairs = [(make_pair(graph, "one-way", 0.01, seed=rep), rep)
                  for rep in range(profile.repetitions)]
         table.extend(run_matrix(pairs, _ALGOS, profile,
                                 dataset=f"k={k:04d}",
-                                measures=("accuracy",)).records)
+                                measures=("accuracy",),
+                                trace=True).records)
     return table
 
 
@@ -53,9 +55,13 @@ def test_fig15_density(benchmark, profile, results_dir):
     emit(results_dir, "fig15_density",
          "-- accuracy at 1% one-way noise, NW sweeps (p=* fixed k=10; "
          "k=* fixed p=0.5) --\n" + p_grid,
+         "-- mean wall seconds per stage --\n" + stage_breakdown(table),
          paper_note("CONE/S-GWL lead but dip on sparse p=0.2; GWL fails at "
                     "degree extremes; IsoRank relatively strong on "
                     "low-degree graphs."))
+
+    # Every successful cell of a traced sweep carries its stage trace.
+    assert all(r.trace is not None for r in table.successful())
 
     # GWL cannot handle the flat-degree NW model at any density.
     assert table.mean("accuracy", algorithm="gwl", dataset="p=0.5") < 0.4

@@ -7,7 +7,7 @@ everyone *except IsoRank* (its weighted prior aligns small-degree nodes);
 at fixed density, GRASP and CONE manage the growth.
 """
 
-from benchmarks.helpers import emit, paper_note, run_matrix
+from benchmarks.helpers import emit, paper_note, run_matrix, stage_breakdown
 from repro.graphs import newman_watts_graph
 from repro.harness import ResultTable
 from repro.noise import make_pair
@@ -28,7 +28,8 @@ def _run(profile):
                  for rep in range(profile.repetitions)]
         table.extend(run_matrix(pairs, _ALGOS, profile,
                                 dataset=f"sparse-n={n:05d}",
-                                measures=("accuracy",)).records)
+                                measures=("accuracy",),
+                                trace=True).records)
     for n in _sizes(profile):
         k = max(4, n // 10)
         graph = newman_watts_graph(n, k, 0.5, seed=n + 1)
@@ -36,7 +37,8 @@ def _run(profile):
                  for rep in range(profile.repetitions)]
         table.extend(run_matrix(pairs, _ALGOS, profile,
                                 dataset=f"dense10-n={n:05d}",
-                                measures=("accuracy",)).records)
+                                measures=("accuracy",),
+                                trace=True).records)
     return table
 
 
@@ -46,8 +48,12 @@ def test_fig16_size(benchmark, profile, results_dir):
          "-- accuracy at 1% one-way noise vs size (sparse: k=10 fixed; "
          "dense10: k=n/10) --\n"
          + table.format_grid("algorithm", "dataset", "accuracy"),
+         "-- mean wall seconds per stage --\n" + stage_breakdown(table),
          paper_note("Sparser graphs hurt everyone except IsoRank; at fixed "
                     "10% density GRASP and CONE keep up with size."))
+
+    # Every successful cell of a traced sweep carries its stage trace.
+    assert all(r.trace is not None for r in table.successful())
 
     sizes = _sizes(profile)
     small = f"sparse-n={sizes[0]:05d}"

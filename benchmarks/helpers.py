@@ -85,6 +85,7 @@ def run_matrix(
     dataset: str = "synthetic",
     track_memory: bool = False,
     journal: Optional[RunJournal] = None,
+    trace: bool = False,
 ) -> ResultTable:
     """Run every algorithm on every (pair, repetition) with budget checks.
 
@@ -93,7 +94,9 @@ def run_matrix(
     :class:`~repro.harness.RunJournal` makes the matrix resumable: each
     record is durably appended as it completes, and cells already in the
     journal (including budget failures) are replayed from it instead of
-    being rerun.
+    being rerun.  ``trace=True`` records a stage trace per cell, enabling
+    the ``trace:<stage>:<field>`` / ``counter:<name>`` pseudo-measures in
+    the returned table (the scalability benches grid on them).
     """
     table = ResultTable()
     for index, item in enumerate(pairs):
@@ -111,11 +114,38 @@ def run_matrix(
             else:
                 record = run_cell(name, pair, dataset, repetition,
                                   assignment=assignment, measures=measures,
-                                  seed=repetition, track_memory=track_memory)
+                                  seed=repetition, track_memory=track_memory,
+                                  trace=trace)
             table.add(record)
             if journal is not None:
                 journal.append(key, record)
     return table
+
+
+def stage_breakdown(table: ResultTable, field: str = "wall_time",
+                    fmt: str = "{:.4f}") -> str:
+    """A text grid of mean per-stage trace values, algorithms as rows.
+
+    ``field`` is any :func:`repro.observability.stage_rollup` field
+    (``wall_time``, ``cpu_time``, ``peak_memory_bytes``, ``calls``).
+    Untraced tables produce an explanatory one-liner instead of a grid.
+    """
+    stages = table.trace_stages()
+    if not stages:
+        return "(no trace data; rerun with trace=True)"
+    algorithms = sorted({r.algorithm for r in table.records})
+    width = max([len(s) for s in stages] + [10])
+    header = ("     algorithm | "
+              + " ".join(f"{s:>{width}s}" for s in stages))
+    lines = [header, "-" * len(header)]
+    for name in algorithms:
+        cells = []
+        for stage in stages:
+            value = table.mean(f"trace:{stage}:{field}", algorithm=name)
+            cells.append(f"{'--':>{width}s}" if np.isnan(value)
+                         else f"{fmt.format(value):>{width}s}")
+        lines.append(f"{name:>14s} | " + " ".join(cells))
+    return "\n".join(lines)
 
 
 def emit(results_dir, name: str, *sections: str) -> str:

@@ -30,6 +30,7 @@ harness forwards into :class:`~repro.harness.results.RunRecord`.
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Type
 
@@ -43,6 +44,7 @@ from repro.graphs.generators import SeedLike, as_rng
 from repro.graphs.graph import Graph
 from repro.graphs.operations import is_connected, largest_connected_component
 from repro.numerics import check_similarity
+from repro.observability import capture_trace, span, tracing_enabled
 
 __all__ = [
     "AlignmentResult",
@@ -109,6 +111,10 @@ class AlignmentResult:
         Graceful-degradation events recorded during the run (preflight
         mitigations, watchdog repairs, solver fallbacks); empty for a
         clean run.  See :mod:`repro.diagnostics`.
+    trace:
+        Serialized stage trace (:meth:`repro.observability.Trace.to_payload`)
+        when tracing was enabled for this run, else ``None``.  See
+        :mod:`repro.observability`.
     """
 
     mapping: np.ndarray
@@ -118,6 +124,7 @@ class AlignmentResult:
     algorithm: str
     assignment: str
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    trace: Optional[Dict[str, object]] = None
 
     @property
     def total_time(self) -> float:
@@ -173,8 +180,12 @@ class AlignmentAlgorithm:
         method = assignment or "jv"
         rng = as_rng(seed)
 
-        with capture_diagnostics() as diagnostics:
-            preflight = self._preflight(source, target)
+        with ExitStack() as stack:
+            diagnostics = stack.enter_context(capture_diagnostics())
+            trace = (stack.enter_context(capture_trace())
+                     if tracing_enabled() else None)
+            with span("preflight"):
+                preflight = self._preflight(source, target)
             if preflight is None:
                 # Contract unmet even after mitigation: a degraded
                 # all-unmatched result, not a crash (the diagnostic
@@ -186,13 +197,16 @@ class AlignmentAlgorithm:
                 run_source, run_target, source_nodes, target_nodes = preflight
 
                 start = time.perf_counter()
-                sim = self._similarity(run_source, run_target, rng)
+                with span("similarity"):
+                    sim = self._similarity(run_source, run_target, rng)
                 sim_time = time.perf_counter() - start
 
-                sim = check_similarity(sim, stage="watchdog")
+                with span("watchdog"):
+                    sim = check_similarity(sim, stage="watchdog")
 
                 start = time.perf_counter()
-                mapping = extract_alignment(sim, method)
+                with span("assignment"):
+                    mapping = extract_alignment(sim, method)
                 assign_time = time.perf_counter() - start
                 if source_nodes is not None:
                     mapping = _expand_mapping(mapping, source_nodes,
@@ -205,6 +219,7 @@ class AlignmentAlgorithm:
             algorithm=self.info.name,
             assignment=method,
             diagnostics=list(diagnostics),
+            trace=trace.to_payload() if trace is not None else None,
         )
 
     # -- helpers ----------------------------------------------------------

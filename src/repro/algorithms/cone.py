@@ -38,6 +38,7 @@ from repro.embedding.netmf import netmf_embeddings
 from repro.embedding.xnetmf import structural_features
 from repro.exceptions import AlgorithmError
 from repro.graphs.graph import Graph
+from repro.observability import span
 from repro.ot.procrustes import orthogonal_procrustes
 from repro.ot.sinkhorn import sinkhorn
 from repro.util import pairwise_sq_dists
@@ -147,30 +148,34 @@ class Cone(AlignmentAlgorithm):
                     rng: np.random.Generator) -> np.ndarray:
         dim = min(self.dim, source.num_nodes - 1, target.num_nodes - 1)
         dim = max(dim, 1)
-        emb_a = self._normalize_rows(
-            netmf_embeddings(source, dim=dim, window=self.window,
-                             negative=self.negative)
-        )
-        emb_b = self._normalize_rows(
-            netmf_embeddings(target, dim=dim, window=self.window,
-                             negative=self.negative)
-        )
+        with span("embedding"):
+            emb_a = self._normalize_rows(
+                netmf_embeddings(source, dim=dim, window=self.window,
+                                 negative=self.negative)
+            )
+            emb_b = self._normalize_rows(
+                netmf_embeddings(target, dim=dim, window=self.window,
+                                 negative=self.negative)
+            )
         n_a = source.num_nodes
 
-        if self.init == "structural":
-            plan = self._structural_init(source, target)
-        else:
-            plan = self._frank_wolfe_init(source, target)
-        rotation = orthogonal_procrustes(emb_a, n_a * (plan @ emb_b))
+        with span("initialization"):
+            if self.init == "structural":
+                plan = self._structural_init(source, target)
+            else:
+                plan = self._frank_wolfe_init(source, target)
+            rotation = orthogonal_procrustes(emb_a, n_a * (plan @ emb_b))
 
         schedule = _EPSILON_SCHEDULE[: self.iterations]
         if len(schedule) < self.iterations:
             schedule = schedule + (_EPSILON_SCHEDULE[-1],) * (
                 self.iterations - len(schedule)
             )
-        for epsilon in schedule:
-            cost = pairwise_sq_dists(emb_a @ rotation, emb_b)
-            plan = sinkhorn(cost, epsilon=epsilon, max_iter=self.sinkhorn_iter)
-            rotation = orthogonal_procrustes(emb_a, n_a * (plan @ emb_b))
+        with span("refinement"):
+            for epsilon in schedule:
+                cost = pairwise_sq_dists(emb_a @ rotation, emb_b)
+                plan = sinkhorn(cost, epsilon=epsilon,
+                                max_iter=self.sinkhorn_iter)
+                rotation = orthogonal_procrustes(emb_a, n_a * (plan @ emb_b))
 
         return np.exp(-pairwise_sq_dists(emb_a @ rotation, emb_b))

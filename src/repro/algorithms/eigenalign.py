@@ -23,6 +23,7 @@ import numpy as np
 from repro.algorithms.base import AlgorithmInfo, AlignmentAlgorithm
 from repro.exceptions import AlgorithmError, ConvergenceError
 from repro.graphs.graph import Graph
+from repro.observability import add_counter
 from repro.util import frobenius_normalize
 
 __all__ = ["EigenAlign"]
@@ -73,6 +74,7 @@ class EigenAlign(AlignmentAlgorithm):
         b = target.adjacency(dense=True)
         x = np.full((n_a, n_b), 1.0 / np.sqrt(n_a * n_b))
         previous = x
+        sweeps = 0
         for _ in range(self.iterations):
             row_sums = x.sum(axis=1)       # X E-side contractions
             col_sums = x.sum(axis=0)
@@ -84,7 +86,11 @@ class EigenAlign(AlignmentAlgorithm):
                 + self.c3 * total
             )
             updated = frobenius_normalize(updated)
+            sweeps += 1
             if np.linalg.norm(updated - previous) < self.tol:
-                return updated
+                break
             previous, x = x, updated
-        return x
+        else:
+            updated = x
+        add_counter("power_iterations", sweeps)
+        return updated

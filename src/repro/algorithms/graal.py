@@ -30,10 +30,12 @@ from repro.algorithms.base import (
     AlignmentResult,
     register_algorithm,
 )
+from repro.diagnostics import capture_diagnostics
 from repro.exceptions import AlgorithmError
 from repro.graphlets import gdv_similarity, orbit_counts
 from repro.graphs.graph import Graph
 from repro.graphs.operations import bfs_distances
+from repro.observability import capture_trace, span, tracing_enabled
 
 __all__ = ["Graal"]
 
@@ -69,9 +71,10 @@ class Graal(AlignmentAlgorithm):
 
     def cost_matrix(self, source: Graph, target: Graph) -> np.ndarray:
         """GRAAL's pairwise cost ``C`` (Eq. 2); lower is better."""
-        sig_a = orbit_counts(source)
-        sig_b = orbit_counts(target)
-        signature_sim = gdv_similarity(sig_a, sig_b)
+        with span("graphlets"):
+            sig_a = orbit_counts(source)
+            sig_b = orbit_counts(target)
+            signature_sim = gdv_similarity(sig_a, sig_b)
         max_deg = float(source.degrees.max() + target.degrees.max())
         if max_deg == 0:
             max_deg = 1.0
@@ -155,12 +158,19 @@ class Graal(AlignmentAlgorithm):
         self._validate(source, target)
         if assignment is not None and assignment != "native":
             return super().align(source, target, assignment=assignment, seed=seed)
-        start = time.perf_counter()
-        cost = self.cost_matrix(source, target)
-        sim_time = time.perf_counter() - start
-        start = time.perf_counter()
-        mapping = self._seed_and_extend(source, target, cost)
-        assign_time = time.perf_counter() - start
+        from contextlib import ExitStack
+        with ExitStack() as stack:
+            diagnostics = stack.enter_context(capture_diagnostics())
+            trace = (stack.enter_context(capture_trace())
+                     if tracing_enabled() else None)
+            start = time.perf_counter()
+            with span("similarity"):
+                cost = self.cost_matrix(source, target)
+            sim_time = time.perf_counter() - start
+            start = time.perf_counter()
+            with span("assignment"):
+                mapping = self._seed_and_extend(source, target, cost)
+            assign_time = time.perf_counter() - start
         return AlignmentResult(
             mapping=mapping,
             similarity=2.0 - cost,
@@ -168,4 +178,6 @@ class Graal(AlignmentAlgorithm):
             assignment_time=assign_time,
             algorithm=self.info.name,
             assignment="native",
+            diagnostics=list(diagnostics),
+            trace=trace.to_payload() if trace is not None else None,
         )

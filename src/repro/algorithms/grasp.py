@@ -28,6 +28,7 @@ import numpy as np
 from repro.algorithms.base import AlgorithmInfo, AlignmentAlgorithm, register_algorithm
 from repro.exceptions import AlgorithmError
 from repro.graphs.graph import Graph
+from repro.observability import span
 from repro.spectral import heat_kernel_diagonals, laplacian_eigenpairs
 from repro.util import pairwise_sq_dists
 
@@ -124,13 +125,15 @@ class Grasp(AlignmentAlgorithm):
 
     def _similarity(self, source: Graph, target: Graph,
                     rng: np.random.Generator) -> np.ndarray:
-        vals_a, phi, f = self._spectral_data(source)
-        vals_b, psi, g = self._spectral_data(target)
+        with span("spectral"):
+            vals_a, phi, f = self._spectral_data(source)
+            vals_b, psi, g = self._spectral_data(target)
         k = min(phi.shape[1], psi.shape[1])
         vals_a, phi, f = vals_a[:k], phi[:, :k], f[:, :k]
         vals_b, psi, g = vals_b[:k], psi[:, :k], g[:, :k]
 
-        base = self._base_alignment(vals_a, vals_b, f, g)
+        with span("base_alignment"):
+            base = self._base_alignment(vals_a, vals_b, f, g)
         psi_aligned = psi @ base
         g_aligned = g @ base
 

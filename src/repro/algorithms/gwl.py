@@ -23,6 +23,7 @@ import numpy as np
 from repro.algorithms.base import AlgorithmInfo, AlignmentAlgorithm, register_algorithm
 from repro.exceptions import AlgorithmError
 from repro.graphs.graph import Graph
+from repro.observability import span
 from repro.ot.gromov import gromov_wasserstein
 from repro.util import pairwise_sq_dists
 
@@ -94,14 +95,15 @@ class GWL(AlignmentAlgorithm):
         for epoch in range(self.epochs):
             alpha = self.alpha_max * epoch / max(self.epochs - 1, 1)
             emb_cost = pairwise_sq_dists(x_a, x_b) if alpha > 0 else None
-            plan = gromov_wasserstein(
-                c_a, c_b, mu, nu,
-                beta=self.beta,
-                outer_iter=self.outer_iter,
-                extra_cost=emb_cost,
-                alpha=alpha,
-                init_plan=plan,
-            )
+            with span("gw_solve"):
+                plan = gromov_wasserstein(
+                    c_a, c_b, mu, nu,
+                    beta=self.beta,
+                    outer_iter=self.outer_iter,
+                    extra_cost=emb_cost,
+                    alpha=alpha,
+                    init_plan=plan,
+                )
             if epoch < self.epochs - 1:
                 x_a, x_b = self._update_embeddings(x_a, x_b, plan)
         return plan

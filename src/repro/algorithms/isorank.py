@@ -24,6 +24,7 @@ from repro.algorithms.base import AlgorithmInfo, AlignmentAlgorithm, register_al
 from repro.exceptions import AlgorithmError
 from repro.graphs.graph import Graph
 from repro.graphs.matrices import column_stochastic
+from repro.observability import add_counter
 from repro.util import degree_prior
 
 __all__ = ["IsoRank"]
@@ -85,6 +86,7 @@ class IsoRank(AlignmentAlgorithm):
         op_a = column_stochastic(source)
         op_b = column_stochastic(target)
         r = e.copy()
+        sweeps = 0
         for _ in range(self.iterations):
             updated = self.alpha * (op_a @ r @ op_b.T) + (1.0 - self.alpha) * e
             total = updated.sum()
@@ -92,6 +94,8 @@ class IsoRank(AlignmentAlgorithm):
                 updated /= total
             delta = np.abs(updated - r).sum()
             r = updated
+            sweeps += 1
             if delta < self.tol:
                 break
+        add_counter("power_iterations", sweeps)
         return r

@@ -33,9 +33,16 @@ from repro.algorithms.base import (
     register_algorithm,
 )
 from repro.assignment import extract_alignment
+from repro.diagnostics import capture_diagnostics
 from repro.exceptions import AlgorithmError
 from repro.graphs.generators import as_rng
 from repro.graphs.graph import Graph
+from repro.observability import (
+    add_counter,
+    capture_trace,
+    span,
+    tracing_enabled,
+)
 
 __all__ = ["LREA"]
 
@@ -88,6 +95,7 @@ class LREA(AlignmentAlgorithm):
 
         u = np.full((n_a, 1), 1.0 / np.sqrt(n_a))
         v = np.full((n_b, 1), 1.0 / np.sqrt(n_b))
+        add_counter("factor_iterations", self.iterations)
         for _ in range(self.iterations):
             au = a @ u
             bv = b @ v
@@ -157,12 +165,20 @@ class LREA(AlignmentAlgorithm):
         method = assignment or "jv"
         if method != "mwm":
             return super().align(source, target, assignment=method, seed=seed)
-        start = time.perf_counter()
-        candidates = self.candidate_matchings(source, target, seed=seed)
-        sim_time = time.perf_counter() - start
-        start = time.perf_counter()
-        mapping = extract_alignment(candidates, "mwm")
-        assign_time = time.perf_counter() - start
+        from contextlib import ExitStack
+        with ExitStack() as stack:
+            diagnostics = stack.enter_context(capture_diagnostics())
+            trace = (stack.enter_context(capture_trace())
+                     if tracing_enabled() else None)
+            start = time.perf_counter()
+            with span("similarity"):
+                candidates = self.candidate_matchings(source, target,
+                                                      seed=seed)
+            sim_time = time.perf_counter() - start
+            start = time.perf_counter()
+            with span("assignment"):
+                mapping = extract_alignment(candidates, "mwm")
+            assign_time = time.perf_counter() - start
         return AlignmentResult(
             mapping=mapping,
             similarity=candidates,
@@ -170,4 +186,6 @@ class LREA(AlignmentAlgorithm):
             assignment_time=assign_time,
             algorithm=self.info.name,
             assignment="mwm",
+            diagnostics=list(diagnostics),
+            trace=trace.to_payload() if trace is not None else None,
         )

@@ -32,6 +32,7 @@ from scipy import sparse
 from repro.algorithms.base import AlgorithmInfo, AlignmentAlgorithm
 from repro.exceptions import AlgorithmError
 from repro.graphs.graph import Graph
+from repro.observability import add_counter
 from repro.util import degree_prior
 
 __all__ = ["NetAlign"]
@@ -159,6 +160,7 @@ class NetAlign(AlignmentAlgorithm):
                     penalty[group] += np.maximum(others_best, 0.0)
             belief = pre - penalty
 
+        add_counter("bp_rounds", self.iterations)
         mat = sparse.coo_matrix(
             (belief - belief.min() + 1e-9, (rows, cols)),
             shape=(source.num_nodes, target.num_nodes),

@@ -20,6 +20,7 @@ from repro.algorithms.base import AlgorithmInfo, AlignmentAlgorithm, register_al
 from repro.exceptions import AlgorithmError
 from repro.graphs.graph import Graph
 from repro.graphs.matrices import column_stochastic
+from repro.observability import add_counter
 from repro.util import degree_prior
 
 __all__ = ["NSD"]
@@ -97,4 +98,5 @@ class NSD(AlignmentAlgorithm):
                 w = op_a @ w
                 z = op_b @ z
             sim += (self.alpha ** self.iterations) * np.outer(w, z)
+        add_counter("power_iterations", self.iterations * len(ws))
         return sim

@@ -27,6 +27,7 @@ from scipy import sparse
 from repro.assignment import extract_alignment
 from repro.exceptions import AlgorithmError
 from repro.graphs.graph import Graph
+from repro.observability import add_counter, span
 
 __all__ = ["refine_alignment"]
 
@@ -79,14 +80,18 @@ def refine_alignment(
 
     adj_a = source.adjacency()
     adj_b = target.adjacency()
-    for _round in range(iterations):
-        perm = _mapping_matrix(current, target.num_nodes)
-        score = (adj_a @ perm @ adj_b).toarray()
-        matched = np.flatnonzero(current >= 0)
-        score[matched, current[matched]] += inertia
-        refined = extract_alignment(score, assignment)
-        changed = int(np.sum(refined != current))
-        current = refined
-        if changed <= tol_unchanged:
-            break
+    with span("refinement"):
+        rounds = 0
+        for _round in range(iterations):
+            perm = _mapping_matrix(current, target.num_nodes)
+            score = (adj_a @ perm @ adj_b).toarray()
+            matched = np.flatnonzero(current >= 0)
+            score[matched, current[matched]] += inertia
+            refined = extract_alignment(score, assignment)
+            changed = int(np.sum(refined != current))
+            current = refined
+            rounds += 1
+            if changed <= tol_unchanged:
+                break
+        add_counter("refine_rounds", rounds)
     return current

@@ -19,6 +19,7 @@ from repro.algorithms.base import AlgorithmInfo, AlignmentAlgorithm, register_al
 from repro.embedding.xnetmf import xnetmf_embeddings
 from repro.exceptions import AlgorithmError
 from repro.graphs.graph import Graph
+from repro.observability import span
 from repro.util import pairwise_sq_dists
 
 __all__ = ["Regal"]
@@ -74,7 +75,8 @@ class Regal(AlignmentAlgorithm):
 
     def _similarity(self, source: Graph, target: Graph,
                     rng: np.random.Generator) -> np.ndarray:
-        emb_a, emb_b = self.embeddings(source, target, seed=rng)
+        with span("embedding"):
+            emb_a, emb_b = self.embeddings(source, target, seed=rng)
         return np.exp(-pairwise_sq_dists(emb_a, emb_b))
 
     def topk_similarity(self, source: Graph, target: Graph, k: int = 10,

@@ -21,6 +21,7 @@ from repro.algorithms.gwl import degree_distribution
 from repro.exceptions import AlgorithmError
 from repro.graphs.graph import Graph
 from repro.graphs.operations import induced_subgraph
+from repro.observability import add_counter
 from repro.ot.gromov import gromov_wasserstein, gw_barycenter_costs
 
 __all__ = ["SGWL"]
@@ -68,6 +69,7 @@ class SGWL(AlignmentAlgorithm):
     # ------------------------------------------------------------------
 
     def _solve_leaf(self, sub_a: Graph, sub_b: Graph) -> np.ndarray:
+        add_counter("gw_leaf_solves")
         mu = degree_distribution(sub_a, self.theta)
         nu = degree_distribution(sub_b, self.theta)
         return gromov_wasserstein(
@@ -78,6 +80,7 @@ class SGWL(AlignmentAlgorithm):
     def _partition(self, sub_a: Graph, sub_b: Graph,
                    rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
         """Cluster labels for both subgraphs via a common GW barycenter."""
+        add_counter("gw_partitions")
         _bary, plans = gw_barycenter_costs(
             [sub_a.adjacency(dense=True), sub_b.adjacency(dense=True)],
             size=self.partitions, beta=self.beta, outer_iter=5, seed=rng,

@@ -20,6 +20,7 @@ import numpy as np
 from scipy.optimize import linear_sum_assignment
 
 from repro.exceptions import AssignmentError
+from repro.observability import add_counter
 
 __all__ = ["solve_lap", "jonker_volgenant"]
 
@@ -117,11 +118,16 @@ def solve_lap(cost, maximize: bool = False, engine: str = "auto") -> np.ndarray:
 
     if engine == "auto":
         engine = "scipy"
+    # Both engines are shortest-augmenting-path solvers growing exactly
+    # one augmenting path per row.
     if engine == "scipy":
         _rows, cols = linear_sum_assignment(mat)
+        add_counter("jv_augmenting_steps", nr)
         return cols.astype(np.int64)
     if engine == "python":
-        return _augmenting_path_solve(mat)
+        result = _augmenting_path_solve(mat)
+        add_counter("jv_augmenting_steps", nr)
+        return result
     raise AssignmentError(f"unknown LAP engine {engine!r}")
 
 

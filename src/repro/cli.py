@@ -124,6 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="numerical watchdog fails cells on NaN/Inf/zero "
                           "similarity matrices instead of sanitizing and "
                           "recording a degraded cell")
+    exp.add_argument("--trace", action="store_true",
+                     help="record a per-cell stage trace (wall/CPU time, "
+                          "peak memory, performance counters); adds "
+                          "per-stage columns to --csv output and a stage "
+                          "breakdown to --report and the printed summary")
+    exp.add_argument("--report", default=None, metavar="PATH",
+                     help="write a self-contained markdown report of the "
+                          "sweep here")
     return parser
 
 
@@ -211,6 +219,7 @@ def _cmd_experiment(args, out) -> int:
         retry_policy=retry,
         workers=args.workers,
         strict_numerics=args.strict_numerics,
+        trace=args.trace,
     )
     table = run_experiment(config, {args.dataset: graph},
                            journal=args.journal)
@@ -228,6 +237,22 @@ def _cmd_experiment(args, out) -> int:
     for name, kinds in sorted(table.diagnostic_counts().items()):
         for key, count in sorted(kinds.items()):
             out.write(f"  {name}: {key} x{count}\n")
+    if args.trace:
+        stages = table.trace_stages()
+        if stages:
+            out.write("stage breakdown (mean wall seconds):\n")
+            for stage in stages:
+                for name in sorted({r.algorithm for r in table.records}):
+                    value = table.mean(f"trace:{stage}:wall_time",
+                                       algorithm=name)
+                    if not np.isnan(value):
+                        out.write(f"  {name}: {stage} {value:.4f}s\n")
+    if args.report:
+        from repro.harness.report import markdown_report
+        with open(args.report, "w") as handle:
+            handle.write(markdown_report(
+                table, title=f"{args.dataset} {args.noise_type} sweep"))
+        out.write(f"markdown report written to {args.report}\n")
     if args.csv:
         table.to_csv(args.csv)
         out.write(f"raw records written to {args.csv}\n")

@@ -48,7 +48,7 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
-from typing import Dict, Iterator, List
+from typing import Callable, Dict, Iterator, List, Optional
 
 __all__ = ["Diagnostic", "record_diagnostic", "capture_diagnostics"]
 
@@ -97,6 +97,7 @@ class _CollectorStack(threading.local):
 
     def __init__(self):
         self.scopes: List[List[Diagnostic]] = []
+        self.observers: List[Callable[[Diagnostic], None]] = []
 
 
 _ACTIVE = _CollectorStack()
@@ -109,26 +110,43 @@ def record_diagnostic(stage: str, kind: str, message: str,
     Safe to call unconditionally from library code: with no active scope
     the event is simply dropped (direct API users who did not opt in see
     no overhead and no global state growth).  Returns the event so call
-    sites can also raise or log it.
+    sites can also raise or log it.  Events whose ``fallback_used`` is
+    non-empty additionally bump the ``fallback_activations`` perf counter
+    when stage tracing is on (see :mod:`repro.observability`).
     """
     diagnostic = Diagnostic(stage=stage, kind=kind, message=message,
                             fallback_used=fallback_used)
     for scope in _ACTIVE.scopes:
         scope.append(diagnostic)
+    if _ACTIVE.scopes:
+        for observer in _ACTIVE.observers:
+            observer(diagnostic)
+        if fallback_used:
+            from repro.observability import add_counter
+            add_counter("fallback_activations")
     return diagnostic
 
 
 @contextmanager
-def capture_diagnostics() -> Iterator[List[Diagnostic]]:
+def capture_diagnostics(
+    observer: Optional[Callable[[Diagnostic], None]] = None,
+) -> Iterator[List[Diagnostic]]:
     """Collect every :func:`record_diagnostic` event raised in the body.
 
     Yields the (live) list the events are appended to; it remains valid
     after the scope closes.  Scopes nest — inner scopes do not steal
-    events from outer ones — and are thread-local.
+    events from outer ones — and are thread-local.  ``observer`` fires
+    once per event as it is recorded; the budget runner uses it to
+    stream events out of a child process before a kill (see
+    :mod:`repro.harness.budget`).
     """
     scope: List[Diagnostic] = []
     _ACTIVE.scopes.append(scope)
+    if observer is not None:
+        _ACTIVE.observers.append(observer)
     try:
         yield scope
     finally:
         _ACTIVE.scopes.remove(scope)
+        if observer is not None:
+            _ACTIVE.observers.remove(observer)

@@ -17,13 +17,23 @@ for real: a cell runs in a child process that
 
 Every failure mode yields a :class:`RunRecord` with ``failed=True`` —
 the sweep always continues, exactly like the paper's missing lines.
+
+The child **streams partial telemetry** while it runs: every
+graceful-degradation diagnostic and every completed root span is flushed
+over the pipe as it happens, *before* the final record.  A child killed
+at the deadline (or dead from an OOM kill) therefore still contributes
+whatever it observed up to the kill — the failed record carries the
+flushed diagnostics and a partial trace, which is exactly the evidence
+one needs to see *where* a 3-hour cell was stuck.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
+from contextlib import ExitStack
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.exceptions import ExperimentError
 from repro.harness.results import RunRecord
@@ -81,22 +91,53 @@ def _apply_memory_limit(memory_bytes: int) -> None:
 
 
 def _child(connection, algorithm_name, pair, assignment, measures, seed,
-           algorithm_params, track_memory, memory_bytes, strict_numerics):
-    """Child-process body: apply limits, run the cell, ship the record."""
+           algorithm_params, track_memory, memory_bytes, strict_numerics,
+           trace):
+    """Child-process body: apply limits, run the cell, ship the record.
+
+    The pipe carries a tagged stream: ``("diagnostic", dict)`` and
+    ``("span", dict)`` messages are flushed live as the cell produces
+    them, then exactly one terminal ``("record", RunRecord)`` or
+    ``("exception", BaseException)``.  The live messages are what the
+    parent falls back on when no terminal message ever arrives — a child
+    killed at the deadline or dead from an OOM kill has already shipped
+    everything it observed.
+    """
     if memory_bytes is not None:
         _apply_memory_limit(memory_bytes)
+    from repro.diagnostics import capture_diagnostics
     from repro.harness.runner import run_cell
+    from repro.observability import capture_trace, tracing
+
+    def _flush(tag, payload):
+        try:
+            connection.send((tag, payload))
+        except Exception:
+            # A broken pipe means the parent already gave up on us;
+            # keep running so the cell's own outcome path still applies.
+            pass
+
     try:
-        record = run_cell(
-            algorithm_name, pair, dataset="", repetition=0,
-            assignment=assignment, measures=measures, seed=seed,
-            track_memory=track_memory, algorithm_params=algorithm_params,
-            strict_numerics=strict_numerics,
-        )
-        connection.send(record)
+        with ExitStack() as stack:
+            # Outer observer scopes: root spans and diagnostics propagate
+            # to *every* active scope, so these see everything the cell's
+            # own capture scopes (inside run_cell) see, as it happens.
+            stack.enter_context(capture_diagnostics(
+                observer=lambda d: _flush("diagnostic", d.to_dict())))
+            if trace:
+                stack.enter_context(tracing(True))
+                stack.enter_context(capture_trace(
+                    observer=lambda s: _flush("span", s.to_dict())))
+            record = run_cell(
+                algorithm_name, pair, dataset="", repetition=0,
+                assignment=assignment, measures=measures, seed=seed,
+                track_memory=track_memory, algorithm_params=algorithm_params,
+                strict_numerics=strict_numerics, trace=trace,
+            )
+        connection.send(("record", record))
     except BaseException as exc:  # never let the child die silently
         try:
-            connection.send(exc)
+            connection.send(("exception", exc))
         except Exception:
             # Even the exception may be unpicklable or too large to send
             # (e.g. MemoryError under a tight rlimit); the parent's
@@ -116,7 +157,8 @@ def _stop_child(process, grace_seconds: float) -> None:
 
 
 def _failed(algorithm_name, pair, dataset, repetition, assignment,
-            error, similarity_time=0.0) -> RunRecord:
+            error, similarity_time=0.0, diagnostics=None,
+            trace=None) -> RunRecord:
     return RunRecord(
         algorithm=algorithm_name,
         dataset=dataset,
@@ -129,7 +171,34 @@ def _failed(algorithm_name, pair, dataset, repetition, assignment,
         assignment_time=0.0,
         failed=True,
         error=error,
+        diagnostics=list(diagnostics or []),
+        trace=trace,
     )
+
+
+class _PartialTelemetry:
+    """Diagnostics and spans the child flushed before (possibly) dying."""
+
+    def __init__(self, tracing: bool):
+        self.tracing = tracing
+        self.diagnostics: List[Dict] = []
+        self.spans: List[Dict] = []
+
+    def absorb(self, tag, payload) -> bool:
+        """Accumulate a live message; True iff it *was* live (non-terminal)."""
+        if tag == "diagnostic":
+            self.diagnostics.append(payload)
+            return True
+        if tag == "span":
+            self.spans.append(payload)
+            return True
+        return False
+
+    def trace_payload(self) -> Optional[Dict[str, object]]:
+        """A partial-trace payload, or ``None`` when tracing was off."""
+        if not self.tracing:
+            return None
+        return {"spans": list(self.spans), "counters": {}}
 
 
 def run_cell_with_budget(
@@ -144,6 +213,7 @@ def run_cell_with_budget(
     track_memory: bool = False,
     algorithm_params: Optional[Dict] = None,
     strict_numerics: bool = False,
+    trace: bool = False,
 ) -> RunRecord:
     """Run one cell in a child process under a :class:`CellBudget`.
 
@@ -152,7 +222,10 @@ def run_cell_with_budget(
     deadline, the ``MemoryError`` the rlimit provoked, or ``"child process
     died without result (exit code ...)"`` for abnormal deaths.
     ``strict_numerics`` is applied inside the child (the numerics policy
-    is per-process state and does not cross the fork boundary otherwise).
+    is per-process state and does not cross the fork boundary otherwise);
+    so is ``trace``, which additionally makes the failed timeout /
+    dead-child records carry a *partial* trace — the root spans the child
+    flushed before it was killed — plus every streamed diagnostic.
     """
     ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() \
         else mp.get_context()
@@ -161,29 +234,46 @@ def run_cell_with_budget(
         target=_child,
         args=(child_conn, algorithm_name, pair, assignment, tuple(measures),
               seed, algorithm_params, track_memory, budget.memory_bytes,
-              strict_numerics),
+              strict_numerics, trace),
     )
     process.start()
     child_conn.close()
+    partial = _PartialTelemetry(tracing=trace)
+    payload = None
     try:
-        if not parent_conn.poll(budget.time_seconds):
-            _stop_child(process, budget.grace_seconds)
-            return _failed(
-                algorithm_name, pair, dataset, repetition, assignment,
-                error=f"timeout after {budget.time_seconds}s",
-                similarity_time=budget.time_seconds,
-            )
-        try:
-            payload = parent_conn.recv()
-        except (EOFError, OSError):
-            # The child closed the pipe (or died) without sending: an
-            # OOM kill, a segfault, or an exit inside native code.
-            process.join()
-            code = process.exitcode
-            return _failed(
-                algorithm_name, pair, dataset, repetition, assignment,
-                error=f"child process died without result (exit code {code})",
-            )
+        deadline = time.monotonic() + budget.time_seconds
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not parent_conn.poll(max(remaining, 0)):
+                _stop_child(process, budget.grace_seconds)
+                # Drain messages the child flushed between our last recv
+                # and its death — they are sitting in the pipe buffer.
+                _drain(parent_conn, partial)
+                return _failed(
+                    algorithm_name, pair, dataset, repetition, assignment,
+                    error=f"timeout after {budget.time_seconds}s",
+                    similarity_time=budget.time_seconds,
+                    diagnostics=partial.diagnostics,
+                    trace=partial.trace_payload(),
+                )
+            try:
+                tag, message = parent_conn.recv()
+            except (EOFError, OSError):
+                # The child closed the pipe (or died) without a terminal
+                # message: an OOM kill, a segfault, or an exit inside
+                # native code.  Everything streamed so far still counts.
+                process.join()
+                code = process.exitcode
+                return _failed(
+                    algorithm_name, pair, dataset, repetition, assignment,
+                    error=("child process died without result "
+                           f"(exit code {code})"),
+                    diagnostics=partial.diagnostics,
+                    trace=partial.trace_payload(),
+                )
+            if not partial.absorb(tag, message):
+                payload = message
+                break
     finally:
         parent_conn.close()
         if process.is_alive():
@@ -193,8 +283,23 @@ def run_cell_with_budget(
         return _failed(
             algorithm_name, pair, dataset, repetition, assignment,
             error=f"{type(payload).__name__}: {payload}",
+            diagnostics=partial.diagnostics,
+            trace=partial.trace_payload(),
         )
     # Re-tag the child's record with the caller's dataset/repetition,
     # keeping every other field — notably `attempts`, which a retry
     # policy wrapping this call audits — exactly as the child set it.
+    # The record carries the child's own full diagnostics/trace; the
+    # streamed partials were only the insurance copy.
     return replace(payload, dataset=dataset, repetition=repetition)
+
+
+def _drain(connection, partial: "_PartialTelemetry") -> None:
+    """Absorb any live messages still buffered in a dead child's pipe."""
+    try:
+        while connection.poll(0):
+            tag, message = connection.recv()
+            if not partial.absorb(tag, message):
+                break  # a terminal message raced the kill; partials win
+    except (EOFError, OSError):
+        pass

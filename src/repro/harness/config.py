@@ -102,10 +102,11 @@ class ExperimentConfig:
     Attributes map one-to-one onto the paper's experimental axes: the
     algorithms compared, the common assignment method, the noise grid, the
     repetition count, and the random seed everything derives from.
-    Execution knobs (``budget``, ``retry_policy``, ``workers``) change how
-    cells run, never what they compute — they are excluded from the
-    journal fingerprint and a ``workers=N`` sweep yields the same records
-    as a serial one.  ``strict_numerics`` is *not* such a knob: it changes
+    Execution knobs (``budget``, ``retry_policy``, ``workers``,
+    ``trace``) change how cells run or what extra telemetry they record,
+    never what they compute — they are excluded from the journal
+    fingerprint and a ``workers=N`` sweep yields the same records as a
+    serial one.  ``strict_numerics`` is *not* such a knob: it changes
     cell outcomes (a sanitized-and-degraded cell becomes a failed one), so
     it participates in the fingerprint when enabled.
     """
@@ -124,6 +125,7 @@ class ExperimentConfig:
     retry_policy: Optional[RetryPolicy] = None  # re-attempt transient fails
     workers: int = 1  # >1 fans instances out to a process pool
     strict_numerics: bool = False  # watchdog fail-fast instead of sanitize
+    trace: bool = False  # record per-cell stage traces (repro.observability)
 
     def __post_init__(self):
         if not self.algorithms:

@@ -10,7 +10,7 @@ the same journal path skips every journaled cell and finishes the rest.
 
 Format — one JSON object per line:
 
-* an optional header line ``{"kind": "header", "version": 1,
+* an optional header line ``{"kind": "header", "version": 2,
   "fingerprint": ...}`` pinning the experiment configuration, so a
   journal cannot silently be resumed with different settings;
 * record lines ``{"kind": "record", "key": ..., "record": {...}}``
@@ -37,7 +37,13 @@ from repro.harness.results import RunRecord
 __all__ = ["canonical_noise_level", "cell_key", "config_fingerprint",
            "RunJournal"]
 
-_FORMAT_VERSION = 1
+# On-disk format version.  History:
+#   1 — initial header + record lines;
+#   2 — records may carry a serialized stage trace (``"trace"`` key).
+# Older journals load unchanged (v1 records simply have no trace);
+# journals written by a *newer* format are refused rather than
+# silently misread.
+_FORMAT_VERSION = 2
 
 
 def canonical_noise_level(noise_level: float) -> str:
@@ -160,6 +166,13 @@ class RunJournal:
                 handle.truncate(good_bytes)
 
     def _check_header(self, entry: Dict) -> None:
+        version = int(entry.get("version", 1))
+        if version > _FORMAT_VERSION:
+            raise ExperimentError(
+                f"journal {self.path} uses format version {version} but "
+                f"this package reads at most {_FORMAT_VERSION}; upgrade "
+                "the package or use a fresh journal path"
+            )
         theirs = entry.get("fingerprint")
         if (self.fingerprint is not None and theirs is not None
                 and theirs != self.fingerprint):

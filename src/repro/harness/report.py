@@ -2,10 +2,12 @@
 
 Turns a :class:`~repro.harness.results.ResultTable` into a self-contained
 markdown document: metadata, one measure grid per noise type, a terminal
-line chart for the headline measure, a degradation summary (clean vs
-degraded vs failed cells per algorithm, with the diagnostic kinds behind
-each degradation), and a failure inventory.  This is what a user shares
-from a custom experiment; the bench suite's text reports are its sibling.
+line chart for the headline measure, a stage breakdown (per-algorithm
+mean wall time by pipeline stage, plus performance-counter totals, when
+the sweep was traced), a degradation summary (clean vs degraded vs
+failed cells per algorithm, with the diagnostic kinds behind each
+degradation), and a failure inventory.  This is what a user shares from
+a custom experiment; the bench suite's text reports are its sibling.
 """
 
 from __future__ import annotations
@@ -35,6 +37,46 @@ def _markdown_grid(table: ResultTable, measure: str, **conditions) -> str:
             cells.append("--" if np.isnan(value) else f"{value:.3f}")
         rows.append(f"| {name} | " + " | ".join(cells) + " |")
     return "\n".join([header, divider] + rows)
+
+
+def _trace_sections(table: ResultTable) -> list:
+    """Stage-breakdown and counter tables; empty when nothing was traced.
+
+    The stage table shows, per algorithm, the mean wall-clock seconds of
+    every top-level stage across that algorithm's successful traced
+    records (``--`` for a stage the algorithm never entered).  The
+    counter table shows mean performance-counter totals the same way.
+    Both tables' columns are the union over the whole sweep, so serial
+    and parallel runs of the same experiment render identically.
+    """
+    stages = table.trace_stages()
+    if not stages:
+        return []
+    algorithms = sorted({r.algorithm for r in table.records})
+    lines = ["## stage breakdown (mean wall seconds)", ""]
+    lines.append("| algorithm | " + " | ".join(stages) + " |")
+    lines.append("|" + "---|" * (len(stages) + 1))
+    for name in algorithms:
+        cells = []
+        for stage in stages:
+            value = table.mean(f"trace:{stage}:wall_time", algorithm=name)
+            cells.append("--" if np.isnan(value) else f"{value:.4f}")
+        lines.append(f"| {name} | " + " | ".join(cells) + " |")
+    lines.append("")
+    counters = table.trace_counters()
+    if counters:
+        lines.append("## performance counters (mean per run)")
+        lines.append("")
+        lines.append("| algorithm | " + " | ".join(counters) + " |")
+        lines.append("|" + "---|" * (len(counters) + 1))
+        for name in algorithms:
+            cells = []
+            for counter in counters:
+                value = table.mean(f"counter:{counter}", algorithm=name)
+                cells.append("--" if np.isnan(value) else f"{value:.1f}")
+            lines.append(f"| {name} | " + " | ".join(cells) + " |")
+        lines.append("")
+    return lines
 
 
 def markdown_report(
@@ -84,6 +126,8 @@ def markdown_report(
         lines.append(line_plot(series, x_label="noise"))
         lines.append("```")
         lines.append("")
+
+    lines.extend(_trace_sections(table))
 
     statuses = table.status_counts(by="algorithm")
     if any(c["degraded"] or c["failed"] for c in statuses.values()):

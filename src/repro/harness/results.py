@@ -15,8 +15,16 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import ExperimentError
+from repro.observability import counter_totals, stage_rollup
 
 __all__ = ["RunRecord", "ResultTable"]
+
+# Per-stage trace fields exported as CSV columns (``trace_<stage>_<suffix>``).
+_TRACE_CSV_FIELDS = (
+    ("wall_s", "wall_time"),
+    ("cpu_s", "cpu_time"),
+    ("peak_bytes", "peak_memory_bytes"),
+)
 
 
 def _compact_diagnostic(entry: Dict[str, str]) -> str:
@@ -36,6 +44,12 @@ class RunRecord:
     it neither failed nor degraded, *degraded* when it succeeded but some
     fallback or mitigation fired, and *failed* otherwise — see
     :attr:`status`.
+
+    ``trace`` carries the cell's serialized stage trace
+    (:meth:`repro.observability.Trace.to_payload`: root span dicts plus
+    orphan counters) when the run was traced, else ``None``.  Failed
+    cells keep whatever spans closed before the failure — partial traces
+    are the whole point of tracing a crash.
     """
 
     algorithm: str
@@ -52,6 +66,7 @@ class RunRecord:
     error: str = ""
     attempts: int = 1
     diagnostics: List[Dict[str, str]] = field(default_factory=list)
+    trace: Optional[Dict[str, object]] = None
 
     @property
     def status(self) -> str:
@@ -81,10 +96,23 @@ class RunRecord:
             {str(k): str(v) for k, v in dict(entry).items()}
             for entry in kept.get("diagnostics", [])
         ]
+        if kept.get("trace") is not None:
+            kept["trace"] = dict(kept["trace"])
         return cls(**kept)
 
     def value(self, key: str) -> float:
-        """A measure by name, or one of the timing/memory pseudo-measures."""
+        """A measure by name, or one of the timing/memory pseudo-measures.
+
+        Two trace-backed pseudo-measure families let grids and series
+        attribute cost to pipeline stages (NaN for untraced records, so
+        they render as ``--``):
+
+        * ``"trace:<stage>:<field>"`` — a top-level stage's ``wall_time``,
+          ``cpu_time``, ``peak_memory_bytes``, or ``calls``;
+        * ``"counter:<name>"`` — a performance counter's total over the
+          whole span tree (0 for a traced record that never hit the
+          counter's code path).
+        """
         if key in self.measures:
             return self.measures[key]
         if key == "similarity_time":
@@ -95,6 +123,26 @@ class RunRecord:
             return self.similarity_time + self.assignment_time
         if key == "peak_memory_bytes":
             return float(self.peak_memory_bytes)
+        if key.startswith("trace:"):
+            parts = key.split(":")
+            if len(parts) != 3:
+                raise ExperimentError(
+                    f"trace pseudo-measure must be 'trace:<stage>:<field>', "
+                    f"got {key!r}"
+                )
+            _, stage, fld = parts
+            if fld not in ("wall_time", "cpu_time", "peak_memory_bytes",
+                           "calls"):
+                raise ExperimentError(f"unknown trace field {fld!r}")
+            if self.trace is None:
+                return float("nan")
+            rollup = stage_rollup(self.trace).get(stage)
+            return float(rollup[fld]) if rollup else float("nan")
+        if key.startswith("counter:"):
+            if self.trace is None:
+                return float("nan")
+            name = key.split(":", 1)[1]
+            return float(counter_totals(self.trace).get(name, 0))
         raise ExperimentError(f"record has no measure {key!r}")
 
 
@@ -195,26 +243,58 @@ class ResultTable:
 
     # ------------------------------------------------------------------
 
+    def trace_stages(self) -> List[str]:
+        """Sorted top-level stage names appearing in any record's trace."""
+        return sorted({stage for r in self._records
+                       for stage in stage_rollup(r.trace)})
+
+    def trace_counters(self) -> List[str]:
+        """Sorted counter names appearing in any record's trace."""
+        return sorted({name for r in self._records
+                       for name in counter_totals(r.trace)})
+
     def to_csv(self, path) -> None:
         """Dump all records (one measure column per distinct measure name).
 
         ``status`` distinguishes clean/degraded/failed cells and
         ``diagnostics`` compacts the events as ``stage/kind->fallback``
         (``;``-joined) so degradations survive into spreadsheet-land.
+
+        When any record carries a trace, per-stage columns
+        (``trace_<stage>_wall_s`` / ``_cpu_s`` / ``_peak_bytes``) and
+        per-counter columns (``counter_<name>``) are appended; untraced
+        records leave them empty.
         """
         measure_keys = sorted({k for r in self._records for k in r.measures})
+        stages = self.trace_stages()
+        counters = self.trace_counters()
         fixed = ["algorithm", "dataset", "noise_type", "noise_level",
                  "repetition", "assignment", "similarity_time",
                  "assignment_time", "peak_memory_bytes", "failed", "error",
                  "attempts", "status"]
+        trace_cols = [f"trace_{stage}_{suffix}"
+                      for stage in stages
+                      for suffix, _ in _TRACE_CSV_FIELDS]
+        counter_cols = [f"counter_{name}" for name in counters]
         with open(path, "w", newline="") as handle:
             writer = csv.writer(handle)
-            writer.writerow(fixed + ["diagnostics"] + measure_keys)
+            writer.writerow(fixed + ["diagnostics"] + measure_keys
+                            + trace_cols + counter_cols)
             for r in self._records:
                 row = [getattr(r, name) for name in fixed]
                 row.append("; ".join(_compact_diagnostic(d)
                                      for d in r.diagnostics))
                 row += [r.measures.get(k, "") for k in measure_keys]
+                rollup = stage_rollup(r.trace) if r.trace is not None else {}
+                for stage in stages:
+                    agg = rollup.get(stage)
+                    for _suffix, fld in _TRACE_CSV_FIELDS:
+                        row.append("" if agg is None else agg[fld])
+                totals = (counter_totals(r.trace)
+                          if r.trace is not None else None)
+                for name in counters:
+                    row.append("" if totals is None
+                               else totals.get(name, 0))
                 writer.writerow(row)
 
     def format_grid(

@@ -20,11 +20,14 @@ import tracemalloc
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from contextlib import ExitStack
+
 from repro.algorithms import get_algorithm
 from repro.algorithms.base import AlignmentAlgorithm
 from repro.diagnostics import capture_diagnostics
 from repro.exceptions import ExperimentError
 from repro.numerics import numerics_policy
+from repro.observability import capture_trace, span, tracing
 from repro.harness.config import ExperimentConfig
 from repro.harness.journal import (
     RunJournal,
@@ -68,20 +71,35 @@ def run_on_pair(
     measures: Sequence[str] = ("accuracy", "s3", "mnc"),
     seed: int = 0,
     track_memory: bool = False,
+    trace: bool = False,
 ) -> Dict[str, object]:
-    """Align one pair and evaluate; returns measure values plus timings."""
+    """Align one pair and evaluate; returns measure values plus timings.
+
+    ``trace=True`` enables stage tracing for this call (see
+    :mod:`repro.observability`); the result dict then carries the
+    serialized trace under ``"trace"`` (``None`` otherwise).
+    """
     peak = 0
-    if track_memory:
+    if track_memory and not tracemalloc.is_tracing():
         tracemalloc.start()
+        own_tracemalloc = True
+    else:
+        own_tracemalloc = False
     try:
-        result = algorithm.align(pair.source, pair.target,
-                                 assignment=assignment, seed=seed)
+        with ExitStack() as stack:
+            if trace:
+                # Additive: never *disables* tracing a caller (run_cell)
+                # already turned on for the whole cell.
+                stack.enter_context(tracing(True))
+            result = algorithm.align(pair.source, pair.target,
+                                     assignment=assignment, seed=seed)
+            with span("evaluate"):
+                values = evaluate_all(pair.source, pair.target,
+                                      result.mapping, pair.ground_truth)
     finally:
-        if track_memory:
+        if own_tracemalloc:
             _current, peak = tracemalloc.get_traced_memory()
             tracemalloc.stop()
-    values = evaluate_all(pair.source, pair.target, result.mapping,
-                          pair.ground_truth)
     return {
         "measures": {key: values[key] for key in measures if key in values},
         "similarity_time": result.similarity_time,
@@ -89,6 +107,7 @@ def run_on_pair(
         "peak_memory_bytes": int(peak),
         "mapping": result.mapping,
         "diagnostics": [d.to_dict() for d in result.diagnostics],
+        "trace": result.trace,
     }
 
 
@@ -103,6 +122,7 @@ def run_cell(
     track_memory: bool = False,
     algorithm_params: Optional[dict] = None,
     strict_numerics: bool = False,
+    trace: bool = False,
 ) -> RunRecord:
     """One (algorithm × instance × repetition) cell as a :class:`RunRecord`.
 
@@ -118,15 +138,26 @@ def run_cell(
     on failed records too, so a cell that degraded *and then* failed
     keeps its trail.  ``strict_numerics=True`` switches the numerical
     watchdog from sanitize-and-warn to fail-fast for this cell.
+
+    ``trace=True`` records the cell's stage trace into the record —
+    partially even on failure: a capture scope around the whole cell
+    keeps every span that closed before the crash (a span the exception
+    escaped through closes with ``status="error"``).
     """
     policy = "strict" if strict_numerics else "sanitize"
-    with capture_diagnostics() as events, numerics_policy(policy):
+    with ExitStack() as stack:
+        events = stack.enter_context(capture_diagnostics())
+        stack.enter_context(numerics_policy(policy))
+        cell_trace = None
+        if trace:
+            stack.enter_context(tracing(True))
+            cell_trace = stack.enter_context(capture_trace())
         try:
             algorithm = get_algorithm(algorithm_name,
                                       **(algorithm_params or {}))
             outcome = run_on_pair(algorithm, pair, assignment=assignment,
                                   measures=measures, seed=seed,
-                                  track_memory=track_memory)
+                                  track_memory=track_memory, trace=trace)
             return RunRecord(
                 algorithm=algorithm_name,
                 dataset=dataset,
@@ -139,6 +170,8 @@ def run_cell(
                 assignment_time=outcome["assignment_time"],
                 peak_memory_bytes=outcome["peak_memory_bytes"],
                 diagnostics=outcome["diagnostics"],
+                trace=(cell_trace.to_payload()
+                       if cell_trace is not None else None),
             )
         except Exception as exc:
             # Everything from ReproError/LinAlgError/MemoryError down to an
@@ -159,6 +192,8 @@ def run_cell(
                 failed=True,
                 error=_describe_failure(exc),
                 diagnostics=[d.to_dict() for d in events],
+                trace=(cell_trace.to_payload()
+                       if cell_trace is not None else None),
             )
 
 
@@ -397,6 +432,7 @@ def _execute_cell(config: ExperimentConfig, name: str, pair: GraphPair,
                   dataset: str, rep: int, seed: int) -> RunRecord:
     """One cell under the config's budget and retry policy."""
     strict = bool(getattr(config, "strict_numerics", False))
+    trace = bool(getattr(config, "trace", False))
 
     def attempt(_attempt_number: int) -> RunRecord:
         if config.budget is not None:
@@ -409,6 +445,7 @@ def _execute_cell(config: ExperimentConfig, name: str, pair: GraphPair,
                 track_memory=config.track_memory,
                 algorithm_params=config.algorithm_params.get(name),
                 strict_numerics=strict,
+                trace=trace,
             )
         return run_cell(
             name, pair, dataset, rep,
@@ -418,6 +455,7 @@ def _execute_cell(config: ExperimentConfig, name: str, pair: GraphPair,
             track_memory=config.track_memory,
             algorithm_params=config.algorithm_params.get(name),
             strict_numerics=strict,
+            trace=trace,
         )
 
     if config.retry_policy is not None:

@@ -38,6 +38,7 @@ def run_cell_with_timeout(
     memory_limit_bytes: Optional[int] = None,
     grace_seconds: float = 2.0,
     strict_numerics: bool = False,
+    trace: bool = False,
 ) -> RunRecord:
     """Run one cell in a child process, killed at ``timeout_seconds``.
 
@@ -46,7 +47,9 @@ def run_cell_with_timeout(
     how the paper's missing lines arise.  A child that dies abnormally
     (segfault, OOM kill) yields a failed record carrying its exit code
     instead of hanging the sweep; ``memory_limit_bytes`` optionally caps
-    the child's address space as well.
+    the child's address space as well.  ``trace=True`` traces the cell
+    inside the child; timed-out and dead children still contribute the
+    diagnostics and root spans they flushed before dying.
     """
     budget = CellBudget(
         time_seconds=timeout_seconds,
@@ -57,4 +60,5 @@ def run_cell_with_timeout(
         algorithm_name, pair, dataset, repetition, budget,
         assignment=assignment, measures=measures, seed=seed,
         algorithm_params=algorithm_params, strict_numerics=strict_numerics,
+        trace=trace,
     )

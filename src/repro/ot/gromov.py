@@ -20,6 +20,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.exceptions import AlgorithmError
+from repro.observability import add_counter
 from repro.ot.sinkhorn import sinkhorn
 
 __all__ = ["gw_gradient", "gw_discrepancy", "gromov_wasserstein"]
@@ -103,6 +104,7 @@ def gromov_wasserstein(
 
     plan = np.outer(mu, nu) if init_plan is None else np.asarray(init_plan, dtype=np.float64)
     prev_obj = np.inf
+    outer_done = 0
     for _ in range(outer_iter):
         cost = gw_gradient(c1, c2, plan, mu, nu)
         if extra_cost is not None and alpha > 0:
@@ -111,10 +113,12 @@ def gromov_wasserstein(
         # i.e. Sinkhorn on cost - beta * log(T_prev).
         prox_cost = cost - beta * np.log(np.maximum(plan, 1e-300))
         plan = sinkhorn(prox_cost, mu, nu, epsilon=beta, max_iter=inner_iter)
+        outer_done += 1
         obj = gw_discrepancy(c1, c2, plan, mu, nu)
         if abs(prev_obj - obj) < tol * max(abs(prev_obj), 1.0):
             break
         prev_obj = obj
+    add_counter("gw_outer_iterations", outer_done)
     return plan
 
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.diagnostics import record_diagnostic
 from repro.exceptions import AlgorithmError, ConvergenceError
+from repro.observability import add_counter
 
 __all__ = ["sinkhorn"]
 
@@ -75,6 +76,7 @@ def sinkhorn(
 
     converged = False
     shift = np.inf
+    iterations = 0
     for _ in range(max_iter):
         f_new = epsilon * (log_mu - _logsumexp(scaled + g[np.newaxis, :] / epsilon, axis=1))
         g_new = epsilon * (
@@ -82,9 +84,11 @@ def sinkhorn(
         )
         shift = max(np.abs(f_new - f).max(), np.abs(g_new - g).max())
         f, g = f_new, g_new
+        iterations += 1
         if shift < tol:
             converged = True
             break
+    add_counter("sinkhorn_iterations", iterations)
     if not converged:
         if raise_on_failure:
             raise ConvergenceError(

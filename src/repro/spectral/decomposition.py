@@ -19,6 +19,7 @@ from scipy.sparse.linalg import ArpackError, eigsh
 
 from repro.diagnostics import record_diagnostic
 from repro.exceptions import AlgorithmError
+from repro.observability import add_counter
 from repro.graphs.graph import Graph
 from repro.graphs.matrices import normalized_laplacian
 
@@ -51,6 +52,7 @@ def laplacian_eigenpairs(graph: Graph, k: int | None = None) -> Tuple[np.ndarray
     n = graph.num_nodes
     if n == 0:
         raise AlgorithmError("cannot eigendecompose an empty graph")
+    add_counter("eigensolver_calls")
     if k is None or k >= n or n <= _DENSE_CUTOFF:
         lap = normalized_laplacian(graph, dense=True)
         vals, vecs = eigh(lap)

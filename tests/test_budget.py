@@ -69,12 +69,26 @@ class _Unkillable(AlignmentAlgorithm):
         return np.ones((source.num_nodes, target.num_nodes))
 
 
+class _DiagnoseThenHang(AlignmentAlgorithm):
+    """Emits a degradation diagnostic, then wedges until killed."""
+
+    info = _info("_diaghang")
+
+    def _similarity(self, source, target, rng):
+        from repro.diagnostics import record_diagnostic
+
+        record_diagnostic("similarity", "fallback", "about to wedge",
+                          fallback_used="none")
+        time.sleep(600)
+        return np.ones((source.num_nodes, target.num_nodes))
+
+
 @pytest.fixture(scope="module", autouse=True)
 def _register_misbehavers():
-    for cls in (_Hog, _SuddenDeath, _Unkillable):
+    for cls in (_Hog, _SuddenDeath, _Unkillable, _DiagnoseThenHang):
         register_algorithm(cls)
     yield
-    for cls in (_Hog, _SuddenDeath, _Unkillable):
+    for cls in (_Hog, _SuddenDeath, _Unkillable, _DiagnoseThenHang):
         ALGORITHM_REGISTRY.pop(cls.info.name, None)
 
 
@@ -130,6 +144,55 @@ class TestBudgetRunner:
         assert "timeout" in record.error
         # terminate -> grace -> kill, not the child's 600 s sleep.
         assert elapsed < 30
+
+
+class TestPartialTelemetry:
+    """Regression (dead-child telemetry drop): a child killed mid-span
+    used to lose every diagnostic and span it had produced.  The child
+    now streams completed root spans and diagnostics over the pipe as
+    they happen, so the parent's failure record carries whatever the
+    child flushed before dying."""
+
+    def test_hang_mid_span_keeps_flushed_partial_trace(self):
+        from repro.faults import FaultSpec, inject_fault
+
+        budget = CellBudget(time_seconds=2.0, grace_seconds=0.5)
+        with inject_fault("isorank", FaultSpec(mode="hang")):
+            record = run_cell_with_budget("isorank", PAIR, "pl", 0, budget,
+                                          trace=True)
+        assert record.failed
+        assert "timeout" in record.error
+        # The hang fires inside the similarity stage, so the preflight
+        # root span had already closed and streamed to the parent.
+        assert record.trace is not None
+        stages = [entry["stage"] for entry in record.trace["spans"]]
+        assert "preflight" in stages
+        assert "similarity" not in stages  # never closed — mid-span kill
+
+    def test_sudden_death_keeps_flushed_partial_trace(self):
+        budget = CellBudget(time_seconds=60)
+        record = run_cell_with_budget("_suddendeath", PAIR, "pl", 0, budget,
+                                      trace=True)
+        assert record.failed
+        assert "died without result" in record.error
+        assert record.trace is not None
+        stages = [entry["stage"] for entry in record.trace["spans"]]
+        assert "preflight" in stages
+
+    def test_timeout_keeps_streamed_diagnostics(self):
+        budget = CellBudget(time_seconds=2.0, grace_seconds=0.5)
+        record = run_cell_with_budget("_diaghang", PAIR, "pl", 0, budget)
+        assert record.failed
+        assert "timeout" in record.error
+        # The diagnostic the child emitted just before wedging streamed
+        # over the pipe and survived the kill.
+        assert any(d["kind"] == "fallback" and "wedge" in d["message"]
+                   for d in record.diagnostics)
+
+    def test_untraced_timeout_has_no_trace(self):
+        budget = CellBudget(time_seconds=1.0, grace_seconds=0.5)
+        record = run_cell_with_budget("_unkillable", PAIR, "pl", 0, budget)
+        assert record.failed and record.trace is None
 
 
 class TestRecordRetagging:

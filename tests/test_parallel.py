@@ -30,6 +30,7 @@ from repro.harness import (
     RunJournal,
     run_experiment,
 )
+from repro.observability import trace_structure
 
 ROOT = Path(__file__).resolve().parent.parent
 
@@ -80,6 +81,38 @@ class TestParallelDeterminism:
         )
         table = run_experiment(config, {"pl": GRAPH})
         assert len(table) == 1 and not table.records[0].failed
+
+
+class TestParallelTraceIdentity:
+    """Tracing is part of the workers=N-is-only-an-execution-knob
+    contract: the per-cell span trees and counters a parallel sweep
+    collects must be structurally identical to a serial sweep's."""
+
+    @staticmethod
+    def _traces_by_cell(table):
+        return {
+            (r.algorithm, r.dataset, r.noise_type, round(r.noise_level, 6),
+             r.repetition): trace_structure(r.trace)
+            for r in table.records
+        }
+
+    def test_workers4_traces_match_serial(self):
+        serial = run_experiment(
+            ExperimentConfig(trace=True, **CONFIG), {"pl": GRAPH})
+        parallel = run_experiment(
+            ExperimentConfig(trace=True, workers=4, **CONFIG),
+            {"pl": GRAPH})
+        assert all(r.trace is not None for r in serial.records)
+        assert all(r.trace is not None for r in parallel.records)
+        serial_traces = self._traces_by_cell(serial)
+        parallel_traces = self._traces_by_cell(parallel)
+        assert serial_traces == parallel_traces
+        assert all(structure for structure in serial_traces.values())
+
+    def test_untraced_parallel_records_have_no_trace(self):
+        table = run_experiment(
+            ExperimentConfig(workers=WORKERS, **CONFIG), {"pl": GRAPH})
+        assert all(r.trace is None for r in table.records)
 
 
 class TestParallelJournal:
@@ -145,9 +178,11 @@ from repro.graphs import powerlaw_cluster_graph
 from repro.harness import ExperimentConfig, run_experiment
 
 journal_path, kill_after, workers = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+trace = bool(int(sys.argv[4])) if len(sys.argv) > 4 else False
 config = ExperimentConfig(
     name="par", algorithms=["isorank", "nsd"],
     noise_levels=(0.0, 0.02), repetitions=2, seed=7, workers=workers,
+    trace=trace,
 )
 graph = powerlaw_cluster_graph(40, 3, 0.3, seed=5)
 count = 0
@@ -166,14 +201,14 @@ print(len(table), sum(r.failed for r in table.records))
 """
 
 
-def _run_driver(journal, kill_after, workers):
+def _run_driver(journal, kill_after, workers, trace=False):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(ROOT / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
     return subprocess.run(
         [sys.executable, "-c", DRIVER, str(journal), str(kill_after),
-         str(workers)],
+         str(workers), str(int(trace))],
         capture_output=True, text=True, env=env, timeout=300,
     )
 
@@ -211,6 +246,35 @@ class TestParallelKillAndResume:
         final = _journal_keys(journal)
         assert len(final) == 8 and len(set(final)) == 8
         assert set(survived) <= set(final)
+
+    def test_traces_survive_kill_and_resume_without_duplication(
+            self, tmp_path):
+        """A SIGKILLed traced sweep leaves journaled records whose traces
+        replay on resume: the finished table carries exactly one trace
+        per cell, and the survivors' traces are byte-identical to what
+        the resumed journal serves back."""
+        journal = tmp_path / "sweep.jsonl"
+        first = _run_driver(journal, kill_after=3, workers=WORKERS,
+                            trace=True)
+        assert first.returncode == -signal.SIGKILL
+        survivors = {r for r in _journal_keys(journal)}
+        assert len(survivors) == 3
+        before = {
+            key: trace_structure(RunJournal(journal).get(key).trace)
+            for key in survivors
+        }
+        assert all(structure for structure in before.values())
+
+        second = _run_driver(journal, kill_after=0, workers=WORKERS,
+                             trace=True)
+        assert second.returncode == 0, second.stderr
+        assert second.stdout.split() == ["8", "0"]
+        final = _journal_keys(journal)
+        assert len(final) == 8 and len(set(final)) == 8  # no duplication
+        resumed = RunJournal(journal)
+        assert all(r.trace is not None for r in resumed.records)
+        for key in survivors:
+            assert trace_structure(resumed.get(key).trace) == before[key]
 
     def test_completed_parallel_journal_makes_rerun_noop(self, tmp_path):
         journal = tmp_path / "sweep.jsonl"

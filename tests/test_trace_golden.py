@@ -1,0 +1,161 @@
+"""Golden-trace regression suite: per-algorithm stage structure.
+
+Every algorithm's traced run must produce exactly the span tree and
+counter names pinned here — a refactor that silently drops a stage span
+or renames a counter breaks these goldens, not a downstream dashboard.
+
+Nothing in this file asserts on real time: structures are compared via
+:func:`repro.observability.trace_structure` (timing-free by design) and
+the timing checks run under an injected fake monotonic clock
+(:func:`repro.observability.trace_clock`), so the suite cannot be
+wall-clock flaky.
+"""
+
+import pytest
+
+from repro.algorithms import get_algorithm, list_algorithms
+from repro.graphs import powerlaw_cluster_graph
+from repro.noise import make_pair
+from repro.observability import (
+    counter_totals,
+    trace_clock,
+    trace_structure,
+    tracing,
+)
+
+PAIR = make_pair(powerlaw_cluster_graph(40, 3, 0.3, seed=5), "one-way",
+                 0.02, seed=6)
+
+# The default pipeline wrapper (preflight -> similarity -> watchdog ->
+# assignment) around an algorithm-specific similarity signature.
+def _pipeline(similarity):
+    return (
+        ("preflight", "ok", (), ()),
+        similarity,
+        ("watchdog", "ok", (), ()),
+        ("assignment", "ok", ("jv_augmenting_steps",), ()),
+    )
+
+
+GOLDEN = {
+    "isorank": _pipeline(("similarity", "ok", ("power_iterations",), ())),
+    "nsd": _pipeline(("similarity", "ok", ("power_iterations",), ())),
+    "lrea": _pipeline(("similarity", "ok", ("factor_iterations",), ())),
+    "grasp": _pipeline(("similarity", "ok", (), (
+        ("spectral", "ok", ("eigensolver_calls",), ()),
+        ("base_alignment", "ok", (), ()),
+    ))),
+    "regal": _pipeline(("similarity", "ok", (), (
+        ("embedding", "ok", (), ()),
+    ))),
+    "cone": _pipeline(("similarity", "ok", (), (
+        ("embedding", "ok", (), ()),
+        ("initialization", "ok",
+         ("fallback_activations", "sinkhorn_iterations"), ()),
+        ("refinement", "ok",
+         ("fallback_activations", "sinkhorn_iterations"), ()),
+    ))),
+    # GRAAL's native align() has no preflight/watchdog stages.
+    "graal": (
+        ("similarity", "ok", (), (("graphlets", "ok", (), ()),)),
+        ("assignment", "ok", (), ()),
+    ),
+}
+
+# The slower GW-family algorithms get structure checks but are excluded
+# from the double-run determinism matrix to keep the suite fast.
+GW_GOLDEN = {
+    "gwl": _pipeline(("similarity", "ok", (), (
+        ("gw_solve", "ok",
+         ("fallback_activations", "gw_outer_iterations",
+          "sinkhorn_iterations"), ()),
+        ("gw_solve", "ok",
+         ("fallback_activations", "gw_outer_iterations",
+          "sinkhorn_iterations"), ()),
+    ))),
+    "s-gwl": _pipeline((
+        "similarity", "ok",
+        ("fallback_activations", "gw_leaf_solves", "gw_outer_iterations",
+         "sinkhorn_iterations"), (),
+    )),
+}
+
+
+def _traced_run(name, clock=None):
+    algorithm = get_algorithm(name)
+    if clock is not None:
+        with trace_clock(clock), tracing(True):
+            result = algorithm.align(PAIR.source, PAIR.target, seed=0)
+    else:
+        with tracing(True):
+            result = algorithm.align(PAIR.source, PAIR.target, seed=0)
+    assert result.trace is not None
+    return result.trace
+
+
+class FakeClock:
+    """Monotonic fake: every read advances by a fixed step."""
+
+    def __init__(self, step=0.001):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestGoldenStructures:
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_structure_matches_golden(self, name):
+        assert trace_structure(_traced_run(name)) == GOLDEN[name]
+
+    @pytest.mark.parametrize("name", sorted(GW_GOLDEN))
+    def test_gw_structure_matches_golden(self, name):
+        assert trace_structure(_traced_run(name)) == GW_GOLDEN[name]
+
+    def test_goldens_cover_every_registered_algorithm(self):
+        assert set(GOLDEN) | set(GW_GOLDEN) == set(list_algorithms())
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["isorank", "nsd", "grasp", "lrea"])
+    def test_counters_identical_across_runs(self, name):
+        first = counter_totals(_traced_run(name))
+        second = counter_totals(_traced_run(name))
+        assert first == second
+        assert first  # a traced run emits at least one counter
+
+    @pytest.mark.parametrize("name", ["isorank", "grasp"])
+    def test_fake_clock_times_identical_across_runs(self, name):
+        """Under an injected clock the recorded times depend only on the
+        number and order of clock reads — i.e. on the trace structure —
+        so two runs must agree exactly, proving nothing times off the
+        real wall clock while the fake is installed."""
+        first = _traced_run(name, clock=FakeClock())
+        second = _traced_run(name, clock=FakeClock())
+
+        def times(payload):
+            def walk(entry):
+                yield (entry["stage"], entry["wall_time"], entry["cpu_time"])
+                for child in entry["children"]:
+                    yield from walk(child)
+            return [item for root in payload["spans"]
+                    for item in walk(root)]
+
+        assert times(first) == times(second)
+        assert all(wall > 0 for _stage, wall, _cpu in times(first))
+
+
+class TestGoldenCounterValues:
+    def test_isorank_iteration_count_pinned(self):
+        """The counter carries the *total* for the run; for a seeded run
+        on a fixed pair that total is exact, not approximate."""
+        first = counter_totals(_traced_run("isorank"))
+        assert first["power_iterations"] >= 1
+        assert first["jv_augmenting_steps"] == PAIR.source.num_nodes
+
+    def test_grasp_counts_one_eigensolve_per_graph(self):
+        totals = counter_totals(_traced_run("grasp"))
+        assert totals["eigensolver_calls"] == 2  # source + target

@@ -1,0 +1,177 @@
+"""Property-based tests for the tracing core (hypothesis).
+
+The tracer's invariants must hold under *arbitrary* nesting, exception
+placement, and counter traffic — not just the shapes the algorithms
+happen to produce today:
+
+* every opened span closes (the open-span stack is empty after any
+  program, even one that raises anywhere);
+* a parent's peak memory is never below any child's;
+* counter totals are never negative and sum exactly;
+* a span an exception escaped through records ``status="error"`` while
+  spans that closed before it stay ``"ok"``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.observability import (
+    add_counter,
+    capture_trace,
+    counter_totals,
+    span,
+    trace_structure,
+    tracing,
+)
+from repro.observability.trace import _STATE
+
+
+# One node of a random span program: a stage name, counter increments to
+# apply inside it, child nodes, and whether to raise after the children.
+_names = st.sampled_from(["a", "b", "c", "similarity", "assignment"])
+_counters = st.lists(
+    st.tuples(st.sampled_from(["x", "y", "sinkhorn_iterations"]),
+              st.integers(min_value=0, max_value=1000)),
+    max_size=3,
+)
+
+
+def _programs(depth):
+    node = st.fixed_dictionaries({
+        "stage": _names,
+        "counters": _counters,
+        "raises": st.booleans(),
+        "children": st.just([]),
+    })
+    if depth > 0:
+        node = st.fixed_dictionaries({
+            "stage": _names,
+            "counters": _counters,
+            "raises": st.booleans(),
+            "children": st.lists(_programs(depth - 1), max_size=3),
+        })
+    return node
+
+
+class _Boom(Exception):
+    pass
+
+
+def _execute(node):
+    """Run one program node inside a span; re-raise child exceptions."""
+    with span(node["stage"]):
+        for name, value in node["counters"]:
+            add_counter(name, value)
+        for child in node["children"]:
+            _execute(child)
+        if node["raises"]:
+            raise _Boom(node["stage"])
+
+
+def _run_program(roots):
+    """Execute a forest, swallowing the (expected) injected exceptions."""
+    with tracing(True), capture_trace() as trace:
+        for root in roots:
+            try:
+                _execute(root)
+            except _Boom:
+                pass
+    return trace.to_payload()
+
+
+forest = st.lists(_programs(2), min_size=1, max_size=4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(forest)
+def test_every_span_closes(roots):
+    _run_program(roots)
+    assert _STATE.stack == []  # nothing left open, raises included
+    assert _STATE.scopes == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(forest)
+def test_peak_memory_monotone_in_children(roots):
+    payload = _run_program(roots)
+
+    def check(entry):
+        for child in entry["children"]:
+            assert entry["peak_memory_bytes"] >= child["peak_memory_bytes"]
+            check(child)
+
+    for root in payload["spans"]:
+        check(root)
+
+
+@settings(max_examples=60, deadline=None)
+@given(forest)
+def test_counters_never_negative_and_sum_exactly(roots):
+    payload = _run_program(roots)
+    totals = counter_totals(payload)
+    assert all(value >= 0 for value in totals.values())
+
+    # A raising node discards nothing: its span still closes and keeps
+    # its counters, but siblings *after* a raising child never run.
+    def dict_merge(acc, other):
+        for name, value in other.items():
+            acc[name] = acc.get(name, 0) + value
+        return acc
+
+    def subtree_raises(node):
+        if node["raises"]:
+            return True
+        return any(subtree_raises(child) for child in node["children"])
+
+    def reachable(node):
+        out = {}
+        for name, value in node["counters"]:
+            out[name] = out.get(name, 0) + value
+        for child in node["children"]:
+            out = dict_merge(out, reachable(child))
+            if subtree_raises(child):
+                break
+        return out
+
+    want = {}
+    for root in roots:
+        want = dict_merge(want, reachable(root))
+    assert totals == want
+
+
+@settings(max_examples=60, deadline=None)
+@given(forest)
+def test_exception_marks_exactly_the_escape_path(roots):
+    payload = _run_program(roots)
+
+    def check(entry, node):
+        escaped = node["raises"] or any(
+            subtree_raises_through(child) for child in node["children"]
+        )
+        assert entry["status"] == ("error" if escaped else "ok")
+        for child_entry, child_node in zip(entry["children"],
+                                           node["children"]):
+            check(child_entry, child_node)
+
+    def subtree_raises_through(node):
+        return node["raises"] or any(subtree_raises_through(c)
+                                     for c in node["children"])
+
+    for entry, node in zip(payload["spans"], roots):
+        check(entry, node)
+
+
+@settings(max_examples=30, deadline=None)
+@given(forest)
+def test_structure_reflects_execution_not_timing(roots):
+    """Two executions of the same program have identical structures."""
+    assert (trace_structure(_run_program(roots))
+            == trace_structure(_run_program(roots)))
+
+
+@given(st.integers(min_value=-1000, max_value=-1))
+def test_negative_counter_rejected(value):
+    with tracing(True), capture_trace():
+        with pytest.raises(ValueError):
+            add_counter("x", value)
