@@ -32,6 +32,7 @@ True
 from repro import (
     algorithms,
     assignment,
+    cache,
     datasets,
     graphlets,
     graphs,
@@ -43,6 +44,7 @@ from repro import (
 )
 from repro.algorithms import get_algorithm, list_algorithms
 from repro.algorithms.base import AlignmentResult
+from repro.cache import ArtifactCache, artifact_cache, caching
 from repro.diagnostics import Diagnostic, capture_diagnostics
 from repro.exceptions import ReproError
 from repro.numerics import numerics_policy, set_numerics_policy
@@ -59,8 +61,12 @@ __all__ = [
     "numerics_policy",
     "set_numerics_policy",
     "ReproError",
+    "ArtifactCache",
+    "artifact_cache",
+    "caching",
     "algorithms",
     "assignment",
+    "cache",
     "datasets",
     "graphs",
     "graphlets",

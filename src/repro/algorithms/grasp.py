@@ -86,7 +86,7 @@ class Grasp(AlignmentAlgorithm):
         k = min(self.k, graph.num_nodes)
         vals, vecs = laplacian_eigenpairs(graph, k=k)
         times = np.logspace(np.log10(self.t_min), np.log10(self.t_max), self.q)
-        diags = heat_kernel_diagonals(vals, vecs, times)  # (q, n)
+        diags = heat_kernel_diagonals(vals, vecs, times, graph=graph)  # (q, n)
         coeffs = diags @ vecs                             # (q, k)
         return vals, vecs, coeffs
 

@@ -25,7 +25,7 @@ from repro.exceptions import AlgorithmError
 from repro.graphs.graph import Graph
 from repro.graphs.matrices import column_stochastic
 from repro.observability import add_counter
-from repro.util import degree_prior
+from repro.util import degree_prior_pair
 
 __all__ = ["IsoRank"]
 
@@ -71,7 +71,7 @@ class IsoRank(AlignmentAlgorithm):
 
     def _prior_matrix(self, source: Graph, target: Graph) -> np.ndarray:
         if self.prior == "degree":
-            e = degree_prior(source.degrees, target.degrees)
+            e = degree_prior_pair(source, target)
         else:
             e = np.ones((source.num_nodes, target.num_nodes))
         total = e.sum()

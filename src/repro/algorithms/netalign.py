@@ -33,7 +33,7 @@ from repro.algorithms.base import AlgorithmInfo, AlignmentAlgorithm
 from repro.exceptions import AlgorithmError
 from repro.graphs.graph import Graph
 from repro.observability import add_counter
-from repro.util import degree_prior
+from repro.util import degree_prior_pair
 
 __all__ = ["NetAlign"]
 
@@ -81,7 +81,7 @@ class NetAlign(AlignmentAlgorithm):
 
     def _candidates(self, source: Graph, target: Graph):
         """Top-k degree-prior candidates per source node (paper §4/§6.1)."""
-        prior = degree_prior(source.degrees, target.degrees)
+        prior = degree_prior_pair(source, target)
         k = min(self.candidates_per_node, target.num_nodes)
         rows, cols, weights = [], [], []
         for i in range(source.num_nodes):
@@ -170,7 +170,9 @@ class NetAlign(AlignmentAlgorithm):
     def objective(self, source: Graph, target: Graph,
                   mapping: np.ndarray) -> float:
         """NetAlign's objective value of a mapping (weight + overlap)."""
-        prior = degree_prior(source.degrees, target.degrees)
+        # Same accessor as _candidates: inside one cache scope the prior
+        # is produced once and shared between alignment and scoring.
+        prior = degree_prior_pair(source, target)
         matched = np.flatnonzero(mapping >= 0)
         weight = float(prior[matched, mapping[matched]].sum())
         overlap = 0

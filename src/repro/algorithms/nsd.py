@@ -21,7 +21,7 @@ from repro.exceptions import AlgorithmError
 from repro.graphs.graph import Graph
 from repro.graphs.matrices import column_stochastic
 from repro.observability import add_counter
-from repro.util import degree_prior
+from repro.util import degree_prior_pair
 
 __all__ = ["NSD"]
 
@@ -73,8 +73,9 @@ class NSD(AlignmentAlgorithm):
         n_a, n_b = source.num_nodes, target.num_nodes
         if self.prior == "uniform":
             return [np.full(n_a, 1.0 / n_a)], [np.full(n_b, 1.0 / n_b)]
-        prior = degree_prior(source.degrees, target.degrees)
-        prior /= prior.sum()
+        prior = degree_prior_pair(source, target)
+        # Out-of-place: the prior may be a cache-shared read-only array.
+        prior = prior / prior.sum()
         u, s, vt = np.linalg.svd(prior, full_matrices=False)
         rank = int(min(self.components, s.size))
         ws = [u[:, i] * np.sqrt(s[i]) for i in range(rank)]

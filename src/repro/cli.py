@@ -107,8 +107,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run each cell in a child process killed at this "
                           "wall-clock deadline (paper: 3 h)")
     exp.add_argument("--memory-limit-mb", type=float, default=None,
-                     help="cap each cell's address space (requires "
-                          "--timeout; paper: 256 GB)")
+                     help="cap each cell's address space (paper: 256 GB); "
+                          "usable alone as a memory-only budget or "
+                          "together with --timeout")
     exp.add_argument("--retries", type=int, default=1, metavar="N",
                      help="total attempts per cell for transient failures "
                           "(default 1 = no retry)")
@@ -129,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "peak memory, performance counters); adds "
                           "per-stage columns to --csv output and a stage "
                           "breakdown to --report and the printed summary")
+    exp.add_argument("--cache", action="store_true",
+                     help="share expensive per-graph intermediates "
+                          "(eigendecompositions, normalizations, priors) "
+                          "across the algorithms of each cell via the "
+                          "artifact cache; results are bit-identical to "
+                          "an uncached run")
     exp.add_argument("--report", default=None, metavar="PATH",
                      help="write a self-contained markdown report of the "
                           "sweep here")
@@ -194,14 +201,12 @@ def _cmd_experiment(args, out) -> int:
     scale = args.scale if args.scale is not None else profile.graph_scale
     graph = load_dataset(args.dataset, scale=scale, seed=args.seed)
     budget = None
-    if args.timeout is not None:
+    if args.timeout is not None or args.memory_limit_mb is not None:
+        # Either limit alone is a valid budget; CellBudget enforces
+        # whichever are set (a memory-only budget waits indefinitely).
         memory = (int(args.memory_limit_mb * 2 ** 20)
                   if args.memory_limit_mb is not None else None)
         budget = CellBudget(time_seconds=args.timeout, memory_bytes=memory)
-    elif args.memory_limit_mb is not None:
-        out.write("--memory-limit-mb requires --timeout "
-                  "(cells must run in a child process)\n")
-        return 2
     retry = (RetryPolicy(max_attempts=args.retries,
                          backoff_seconds=args.retry_backoff)
              if args.retries > 1 else None)
@@ -220,6 +225,7 @@ def _cmd_experiment(args, out) -> int:
         workers=args.workers,
         strict_numerics=args.strict_numerics,
         trace=args.trace,
+        cache=args.cache,
     )
     table = run_experiment(config, {args.dataset: graph},
                            journal=args.journal)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cache import cached_artifact
 from repro.exceptions import AlgorithmError
 from repro.graphs.graph import Graph
 
@@ -39,22 +40,30 @@ def netmf_embeddings(
         raise AlgorithmError(f"window must be >= 1, got {window}")
     d = int(min(dim, max(n - 1, 1)))
 
-    adj = graph.adjacency(dense=True)
-    deg = adj.sum(axis=1)
-    vol = deg.sum()
-    if vol == 0:
-        return np.zeros((n, d))
-    inv_deg = np.divide(1.0, deg, out=np.zeros_like(deg), where=deg > 0)
+    def produce() -> np.ndarray:
+        adj = graph.adjacency(dense=True)
+        deg = adj.sum(axis=1)
+        vol = deg.sum()
+        if vol == 0:
+            return np.zeros((n, d))
+        inv_deg = np.divide(1.0, deg, out=np.zeros_like(deg), where=deg > 0)
 
-    walk = inv_deg[:, np.newaxis] * adj  # P = D^{-1} A
-    power = np.eye(n)
-    acc = np.zeros_like(adj)
-    for _ in range(window):
-        power = power @ walk
-        acc += power
+        walk = inv_deg[:, np.newaxis] * adj  # P = D^{-1} A
+        power = np.eye(n)
+        acc = np.zeros_like(adj)
+        for _ in range(window):
+            power = power @ walk
+            acc += power
 
-    m = (vol / (negative * window)) * acc * inv_deg[np.newaxis, :]
-    m = np.log(np.maximum(m, 1.0))  # shifted-PMI with log-clipping at 0
+        m = (vol / (negative * window)) * acc * inv_deg[np.newaxis, :]
+        m = np.log(np.maximum(m, 1.0))  # shifted-PMI with log-clipping at 0
 
-    u, s, _vt = np.linalg.svd(m, full_matrices=False)
-    return u[:, :d] * np.sqrt(s[:d])[np.newaxis, :]
+        u, s, _vt = np.linalg.svd(m, full_matrices=False)
+        return u[:, :d] * np.sqrt(s[:d])[np.newaxis, :]
+
+    # The embedding is a pure function of (graph, d, window, negative):
+    # the SVD has no random initialization, so it is safe to share.
+    return cached_artifact(
+        graph, "netmf_embeddings", produce,
+        params={"dim": d, "window": int(window), "negative": float(negative)},
+    )

@@ -22,6 +22,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache import cached_artifact
 from repro.exceptions import AlgorithmError
 from repro.graphs.generators import SeedLike, as_rng
 from repro.graphs.graph import Graph
@@ -51,17 +52,28 @@ def structural_features(
         raise AlgorithmError(
             f"num_buckets={width} too small for max degree {max_deg}"
         )
-    features = np.zeros((graph.num_nodes, width))
-    bucket = np.floor(np.log2(np.maximum(degrees, 1))).astype(np.int64)
-    for u in range(graph.num_nodes):
-        dist = bfs_distances(graph, u, max_depth=max_hops)
-        for k in range(1, max_hops + 1):
-            members = np.flatnonzero(dist == k)
-            if members.size == 0:
-                break
-            hist = np.bincount(bucket[members], minlength=width)
-            features[u] += (delta ** (k - 1)) * hist
-    return features
+
+    def produce() -> np.ndarray:
+        features = np.zeros((graph.num_nodes, width))
+        bucket = np.floor(np.log2(np.maximum(degrees, 1))).astype(np.int64)
+        for u in range(graph.num_nodes):
+            dist = bfs_distances(graph, u, max_depth=max_hops)
+            for k in range(1, max_hops + 1):
+                members = np.flatnonzero(dist == k)
+                if members.size == 0:
+                    break
+                hist = np.bincount(bucket[members], minlength=width)
+                features[u] += (delta ** (k - 1)) * hist
+        return features
+
+    # Keyed on the *resolved* width, so "default width for this graph"
+    # and an explicit num_buckets of the same value share one entry.
+    # The downstream landmark/Nyström stages are seeded and stay uncached.
+    return cached_artifact(
+        graph, "structural_features", produce,
+        params={"max_hops": int(max_hops), "delta": float(delta),
+                "width": width},
+    )
 
 
 def _landmark_similarities(features: np.ndarray, landmarks: np.ndarray,

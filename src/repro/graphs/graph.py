@@ -10,6 +10,7 @@ allocation-free.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Tuple
 
 import numpy as np
@@ -51,7 +52,7 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_n", "_edges", "_indptr", "_indices", "_degrees")
+    __slots__ = ("_n", "_edges", "_indptr", "_indices", "_degrees", "_digest")
 
     def __init__(self, num_nodes: int, edges: Iterable[Tuple[int, int]] = ()):
         n = int(num_nodes)
@@ -70,6 +71,7 @@ class Graph:
 
         self._n = n
         self._edges = _canonical_edges(edge_arr)
+        self._digest = None
         self._build_csr()
 
     def _build_csr(self) -> None:
@@ -177,6 +179,24 @@ class Graph:
         """Edges as a Python set of ``(u, v)`` tuples with ``u < v``."""
         return set(map(tuple, self._edges.tolist()))
 
+    def content_digest(self) -> bytes:
+        """Deterministic 16-byte BLAKE2b digest of the graph's content.
+
+        Hashes the node count and the canonical (sorted, deduplicated,
+        ``u < v``) edge list in fixed little-endian byte order, so equal
+        graphs digest identically on every platform, in every process,
+        and under every ``PYTHONHASHSEED`` — unlike ``hash()``, whose
+        salt varies per process.  This is the graph identity used by the
+        artifact cache and anything else that must agree across the
+        fork/spawn worker boundary.
+        """
+        if self._digest is None:
+            hasher = hashlib.blake2b(digest_size=16)
+            hasher.update(int(self._n).to_bytes(8, "little"))
+            hasher.update(self._edges.astype("<i8", copy=False).tobytes())
+            self._digest = hasher.digest()
+        return self._digest
+
     # ------------------------------------------------------------------
     # Matrix views
     # ------------------------------------------------------------------
@@ -211,7 +231,10 @@ class Graph:
         return self._n == other._n and np.array_equal(self._edges, other._edges)
 
     def __hash__(self) -> int:
-        return hash((self._n, self._edges.tobytes()))
+        # Derived from the content digest rather than the salted builtin
+        # hash(): equal graphs hash equally across processes, so dict or
+        # set layouts involving graphs are PYTHONHASHSEED-independent.
+        return int.from_bytes(self.content_digest()[:8], "little", signed=True)
 
     def __repr__(self) -> str:
         return f"Graph(n={self._n}, m={self.num_edges})"

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+from repro.cache import cached_artifact
 from repro.graphs.graph import Graph
 
 __all__ = [
@@ -45,9 +46,13 @@ def _inv_sqrt_degrees(graph: Graph) -> np.ndarray:
 
 def normalized_adjacency(graph: Graph, dense: bool = False):
     """Symmetric normalization D^{-1/2} A D^{-1/2} (zero rows for isolates)."""
-    inv = _inv_sqrt_degrees(graph)
-    mat = sparse.diags(inv) @ graph.adjacency() @ sparse.diags(inv)
-    return mat.toarray() if dense else mat.tocsr()
+
+    def produce():
+        inv = _inv_sqrt_degrees(graph)
+        return (sparse.diags(inv) @ graph.adjacency() @ sparse.diags(inv)).tocsr()
+
+    mat = cached_artifact(graph, "normalized_adjacency", produce)
+    return mat.toarray() if dense else mat
 
 
 def normalized_laplacian(graph: Graph, dense: bool = False):
@@ -56,30 +61,42 @@ def normalized_laplacian(graph: Graph, dense: bool = False):
     Isolated nodes get an all-zero row/column (eigenvalue 0), matching the
     convention of scipy's ``csgraph.laplacian(normed=True)``.
     """
-    norm_adj = normalized_adjacency(graph)
-    has_degree = (graph.degrees > 0).astype(np.float64)
-    lap = sparse.diags(has_degree) - norm_adj
-    return lap.toarray() if dense else lap.tocsr()
+
+    def produce():
+        norm_adj = normalized_adjacency(graph)
+        has_degree = (graph.degrees > 0).astype(np.float64)
+        return (sparse.diags(has_degree) - norm_adj).tocsr()
+
+    lap = cached_artifact(graph, "normalized_laplacian", produce)
+    return lap.toarray() if dense else lap
 
 
 def row_stochastic(graph: Graph, dense: bool = False):
     """Row-normalized adjacency D^{-1} A (zero rows for isolates)."""
-    deg = graph.degrees.astype(np.float64)
-    with np.errstate(divide="ignore"):
-        inv = 1.0 / deg
-    inv[~np.isfinite(inv)] = 0.0
-    mat = sparse.diags(inv) @ graph.adjacency()
-    return mat.toarray() if dense else mat.tocsr()
+
+    def produce():
+        deg = graph.degrees.astype(np.float64)
+        with np.errstate(divide="ignore"):
+            inv = 1.0 / deg
+        inv[~np.isfinite(inv)] = 0.0
+        return (sparse.diags(inv) @ graph.adjacency()).tocsr()
+
+    mat = cached_artifact(graph, "row_stochastic", produce)
+    return mat.toarray() if dense else mat
 
 
 def column_stochastic(graph: Graph, dense: bool = False):
     """Column-normalized adjacency A D^{-1} (zero columns for isolates)."""
-    deg = graph.degrees.astype(np.float64)
-    with np.errstate(divide="ignore"):
-        inv = 1.0 / deg
-    inv[~np.isfinite(inv)] = 0.0
-    mat = graph.adjacency() @ sparse.diags(inv)
-    return mat.toarray() if dense else mat.tocsr()
+
+    def produce():
+        deg = graph.degrees.astype(np.float64)
+        with np.errstate(divide="ignore"):
+            inv = 1.0 / deg
+        inv[~np.isfinite(inv)] = 0.0
+        return (graph.adjacency() @ sparse.diags(inv)).tocsr()
+
+    mat = cached_artifact(graph, "column_stochastic", produce)
+    return mat.toarray() if dense else mat
 
 
 def heat_kernel(eigenvalues: np.ndarray, eigenvectors: np.ndarray, t: float) -> np.ndarray:

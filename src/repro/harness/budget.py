@@ -49,20 +49,28 @@ class CellBudget:
     Attributes
     ----------
     time_seconds:
-        Wall-clock deadline (the paper: 3 h).
+        Wall-clock deadline (the paper: 3 h); ``None`` leaves time
+        unlimited (a memory-only budget).
     memory_bytes:
         Address-space cap applied in the child via ``RLIMIT_AS``
         (the paper: 256 GB); ``None`` leaves memory unlimited.
     grace_seconds:
         How long a terminated child gets to exit before ``SIGKILL``.
+
+    At least one of ``time_seconds`` / ``memory_bytes`` must be set — a
+    budget that limits nothing is a configuration error, not a no-op.
     """
 
-    time_seconds: float
+    time_seconds: Optional[float] = None
     memory_bytes: Optional[int] = None
     grace_seconds: float = 2.0
 
     def __post_init__(self):
-        if self.time_seconds <= 0:
+        if self.time_seconds is None and self.memory_bytes is None:
+            raise ExperimentError(
+                "a CellBudget needs a time limit, a memory limit, or both"
+            )
+        if self.time_seconds is not None and self.time_seconds <= 0:
             raise ExperimentError(
                 f"timeout must be positive, got {self.time_seconds}"
             )
@@ -92,7 +100,7 @@ def _apply_memory_limit(memory_bytes: int) -> None:
 
 def _child(connection, algorithm_name, pair, assignment, measures, seed,
            algorithm_params, track_memory, memory_bytes, strict_numerics,
-           trace):
+           trace, cache=False):
     """Child-process body: apply limits, run the cell, ship the record.
 
     The pipe carries a tagged stream: ``("diagnostic", dict)`` and
@@ -128,11 +136,15 @@ def _child(connection, algorithm_name, pair, assignment, measures, seed,
                 stack.enter_context(tracing(True))
                 stack.enter_context(capture_trace(
                     observer=lambda s: _flush("span", s.to_dict())))
+            # cache=True reuses a fork-inherited instance scope when the
+            # sweep opened one (warm reads; the child's writes die with
+            # it), and opens a cell-local cache otherwise (spawn, or a
+            # standalone budgeted call).
             record = run_cell(
                 algorithm_name, pair, dataset="", repetition=0,
                 assignment=assignment, measures=measures, seed=seed,
                 track_memory=track_memory, algorithm_params=algorithm_params,
-                strict_numerics=strict_numerics, trace=trace,
+                strict_numerics=strict_numerics, trace=trace, cache=cache,
             )
         connection.send(("record", record))
     except BaseException as exc:  # never let the child die silently
@@ -214,13 +226,16 @@ def run_cell_with_budget(
     algorithm_params: Optional[Dict] = None,
     strict_numerics: bool = False,
     trace: bool = False,
+    cache: bool = False,
 ) -> RunRecord:
     """Run one cell in a child process under a :class:`CellBudget`.
 
     Returns the child's :class:`RunRecord` on success, or a failed record
     whose ``error`` names the breakdown: ``"timeout after ...s"`` past the
     deadline, the ``MemoryError`` the rlimit provoked, or ``"child process
-    died without result (exit code ...)"`` for abnormal deaths.
+    died without result (exit code ...)"`` for abnormal deaths.  A
+    memory-only budget (``time_seconds=None``) waits for the child
+    indefinitely; only the rlimit (and abnormal death) can fail it.
     ``strict_numerics`` is applied inside the child (the numerics policy
     is per-process state and does not cross the fork boundary otherwise);
     so is ``trace``, which additionally makes the failed timeout /
@@ -234,17 +249,23 @@ def run_cell_with_budget(
         target=_child,
         args=(child_conn, algorithm_name, pair, assignment, tuple(measures),
               seed, algorithm_params, track_memory, budget.memory_bytes,
-              strict_numerics, trace),
+              strict_numerics, trace, cache),
     )
     process.start()
     child_conn.close()
     partial = _PartialTelemetry(tracing=trace)
     payload = None
     try:
-        deadline = time.monotonic() + budget.time_seconds
+        deadline = (None if budget.time_seconds is None
+                    else time.monotonic() + budget.time_seconds)
         while True:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0 or not parent_conn.poll(max(remaining, 0)):
+            if deadline is None:
+                timed_out = not parent_conn.poll(None)  # block until a message
+            else:
+                remaining = deadline - time.monotonic()
+                timed_out = (remaining <= 0
+                             or not parent_conn.poll(max(remaining, 0)))
+            if timed_out:
                 _stop_child(process, budget.grace_seconds)
                 # Drain messages the child flushed between our last recv
                 # and its death — they are sitting in the pipe buffer.

@@ -103,10 +103,10 @@ class ExperimentConfig:
     algorithms compared, the common assignment method, the noise grid, the
     repetition count, and the random seed everything derives from.
     Execution knobs (``budget``, ``retry_policy``, ``workers``,
-    ``trace``) change how cells run or what extra telemetry they record,
-    never what they compute — they are excluded from the journal
-    fingerprint and a ``workers=N`` sweep yields the same records as a
-    serial one.  ``strict_numerics`` is *not* such a knob: it changes
+    ``trace``, ``cache``) change how cells run or what extra telemetry
+    they record, never what they compute — they are excluded from the
+    journal fingerprint and a ``workers=N`` sweep yields the same
+    records as a serial one.  ``strict_numerics`` is *not* such a knob: it changes
     cell outcomes (a sanitized-and-degraded cell becomes a failed one), so
     it participates in the fingerprint when enabled.
     """
@@ -126,6 +126,7 @@ class ExperimentConfig:
     workers: int = 1  # >1 fans instances out to a process pool
     strict_numerics: bool = False  # watchdog fail-fast instead of sanitize
     trace: bool = False  # record per-cell stage traces (repro.observability)
+    cache: bool = False  # share per-graph intermediates via repro.cache
 
     def __post_init__(self):
         if not self.algorithms:

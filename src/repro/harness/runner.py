@@ -24,6 +24,7 @@ from contextlib import ExitStack
 
 from repro.algorithms import get_algorithm
 from repro.algorithms.base import AlignmentAlgorithm
+from repro.cache import active_cache, artifact_cache, caching
 from repro.diagnostics import capture_diagnostics
 from repro.exceptions import ExperimentError
 from repro.numerics import numerics_policy
@@ -123,6 +124,7 @@ def run_cell(
     algorithm_params: Optional[dict] = None,
     strict_numerics: bool = False,
     trace: bool = False,
+    cache: bool = False,
 ) -> RunRecord:
     """One (algorithm × instance × repetition) cell as a :class:`RunRecord`.
 
@@ -143,11 +145,22 @@ def run_cell(
     partially even on failure: a capture scope around the whole cell
     keeps every span that closed before the crash (a span the exception
     escaped through closes with ``status="error"``).
+
+    ``cache=True`` shares expensive per-graph intermediates through the
+    artifact cache (:mod:`repro.cache`) for the duration of this cell.
+    When a cache scope is already active — the sweep runner opens one
+    per *instance* so all algorithms of a cell share artifacts, and a
+    fork-based budget child inherits the parent's warm scope — it is
+    reused instead of opening a colder nested one.
     """
     policy = "strict" if strict_numerics else "sanitize"
     with ExitStack() as stack:
         events = stack.enter_context(capture_diagnostics())
         stack.enter_context(numerics_policy(policy))
+        if cache:
+            stack.enter_context(caching(True))
+            if active_cache() is None:
+                stack.enter_context(artifact_cache())
         cell_trace = None
         if trace:
             stack.enter_context(tracing(True))
@@ -293,21 +306,32 @@ def _collect_instances(config, graphs, journal, table) -> List[InstanceTask]:
 def _run_sweep(config, graphs, factory, progress, journal) -> ResultTable:
     table = ResultTable()
     base_seed = int(config.seed)
+    use_cache = bool(getattr(config, "cache", False))
     for dataset, noise_type, level, rep, pending in _collect_instances(
             config, graphs, journal, table):
         seed = cell_seed(base_seed, dataset, noise_type, level, rep)
         pair = factory(graphs[dataset], noise_type, level, seed)
-        for name in pending:
-            if progress is not None:
-                progress(
-                    f"{dataset} {noise_type} {level:.2f} "
-                    f"rep{rep} {name}"
-                )
-            record = _execute_cell(config, name, pair, dataset, rep, seed)
-            table.add(record)
-            if journal is not None:
-                journal.append(
-                    cell_key(dataset, noise_type, level, rep, name), record)
+        with ExitStack() as scope:
+            # One artifact cache per *instance*: every pending algorithm
+            # of this cell shares one eigendecomposition, one degree
+            # prior, one stochastic normalization per graph.  The scope
+            # dies with the instance, so artifacts never leak across
+            # noisy pairs.
+            if use_cache:
+                scope.enter_context(caching(True))
+                scope.enter_context(artifact_cache())
+            for name in pending:
+                if progress is not None:
+                    progress(
+                        f"{dataset} {noise_type} {level:.2f} "
+                        f"rep{rep} {name}"
+                    )
+                record = _execute_cell(config, name, pair, dataset, rep, seed)
+                table.add(record)
+                if journal is not None:
+                    journal.append(
+                        cell_key(dataset, noise_type, level, rep, name),
+                        record)
     return table
 
 
@@ -354,10 +378,17 @@ def _worker_main(task_queue, result_queue, config, graphs, factory) -> None:
                     error=_describe_failure(exc),
                 )))
             continue
-        for name in pending:
-            key = cell_key(dataset, noise_type, level, rep, name)
-            record = _execute_cell(config, name, pair, dataset, rep, seed)
-            result_queue.put((key, record))
+        with ExitStack() as scope:
+            # Same per-instance artifact sharing as the serial loop: the
+            # worker opens one cache per instance it processes, keeping
+            # serial and parallel sweeps structurally identical.
+            if bool(getattr(config, "cache", False)):
+                scope.enter_context(caching(True))
+                scope.enter_context(artifact_cache())
+            for name in pending:
+                key = cell_key(dataset, noise_type, level, rep, name)
+                record = _execute_cell(config, name, pair, dataset, rep, seed)
+                result_queue.put((key, record))
 
 
 def _run_sweep_parallel(config, graphs, factory, progress,
@@ -433,6 +464,7 @@ def _execute_cell(config: ExperimentConfig, name: str, pair: GraphPair,
     """One cell under the config's budget and retry policy."""
     strict = bool(getattr(config, "strict_numerics", False))
     trace = bool(getattr(config, "trace", False))
+    cache = bool(getattr(config, "cache", False))
 
     def attempt(_attempt_number: int) -> RunRecord:
         if config.budget is not None:
@@ -446,6 +478,7 @@ def _execute_cell(config: ExperimentConfig, name: str, pair: GraphPair,
                 algorithm_params=config.algorithm_params.get(name),
                 strict_numerics=strict,
                 trace=trace,
+                cache=cache,
             )
         return run_cell(
             name, pair, dataset, rep,
@@ -456,6 +489,7 @@ def _execute_cell(config: ExperimentConfig, name: str, pair: GraphPair,
             algorithm_params=config.algorithm_params.get(name),
             strict_numerics=strict,
             trace=trace,
+            cache=cache,
         )
 
     if config.retry_policy is not None:

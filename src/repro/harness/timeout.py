@@ -39,6 +39,7 @@ def run_cell_with_timeout(
     grace_seconds: float = 2.0,
     strict_numerics: bool = False,
     trace: bool = False,
+    cache: bool = False,
 ) -> RunRecord:
     """Run one cell in a child process, killed at ``timeout_seconds``.
 
@@ -60,5 +61,5 @@ def run_cell_with_timeout(
         algorithm_name, pair, dataset, repetition, budget,
         assignment=assignment, measures=measures, seed=seed,
         algorithm_params=algorithm_params, strict_numerics=strict_numerics,
-        trace=trace,
+        trace=trace, cache=cache,
     )

@@ -37,6 +37,10 @@ KNOWN_COUNTERS = {
     "factor_iterations": "low-rank factor update sweeps in LREA",
     "refine_rounds": "matched-neighborhood refinement passes applied",
     "fallback_activations": "graceful-degradation fallbacks that fired",
+    "cache_hits": "artifact-cache lookups served without recomputing",
+    "cache_misses": "artifact-cache lookups that ran the producer",
+    "cache_evictions": "artifacts dropped to keep the cache under its byte bound",
+    "cache_bytes": "payload bytes inserted into the artifact cache",
 }
 
 

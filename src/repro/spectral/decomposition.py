@@ -17,6 +17,7 @@ from scipy import sparse
 from scipy.linalg import eigh
 from scipy.sparse.linalg import ArpackError, eigsh
 
+from repro.cache import cached_artifact
 from repro.diagnostics import record_diagnostic
 from repro.exceptions import AlgorithmError
 from repro.observability import add_counter
@@ -52,46 +53,71 @@ def laplacian_eigenpairs(graph: Graph, k: int | None = None) -> Tuple[np.ndarray
     n = graph.num_nodes
     if n == 0:
         raise AlgorithmError("cannot eigendecompose an empty graph")
-    add_counter("eigensolver_calls")
-    if k is None or k >= n or n <= _DENSE_CUTOFF:
-        lap = normalized_laplacian(graph, dense=True)
-        vals, vecs = eigh(lap)
-        if k is not None and k < n:
-            vals, vecs = vals[:k], vecs[:, :k]
-    else:
-        lap = normalized_laplacian(graph).tocsc()
-        # sigma=0 shift-invert targets the smallest eigenvalues reliably.
-        try:
-            vals, vecs = eigsh(lap, k=k, sigma=-1e-6, which="LM")
-        except ArpackError as exc:
-            # Lanczos breakdown / no convergence: fall back to dense.
-            # Only ARPACK's own failures are absorbed — a shape error or
-            # any other bug still propagates instead of being masked.
-            record_diagnostic(
-                "spectral", "eigsh_failure",
-                f"sparse eigsh failed on n={n}, k={k} "
-                f"({type(exc).__name__}: {exc}); dense eigh fallback",
-                fallback_used="dense_eigh",
-            )
-            dense = lap.toarray()
-            vals, vecs = eigh(dense)
-            vals, vecs = vals[:k], vecs[:, :k]
-        order = np.argsort(vals)
-        vals, vecs = vals[order], vecs[:, order]
-    return vals, fix_signs(vecs)
+    # k=None and k>=n both mean "the full spectrum": normalize so they
+    # address the same cache entry.
+    effective_k = None if (k is None or k >= n) else int(k)
+
+    def produce() -> Tuple[np.ndarray, np.ndarray]:
+        # Counted inside the producer: a cache hit is *not* an
+        # eigendecomposition, and the counter is the proof of that.
+        add_counter("eigensolver_calls")
+        if effective_k is None or n <= _DENSE_CUTOFF:
+            lap = normalized_laplacian(graph, dense=True)
+            vals, vecs = eigh(lap)
+            if effective_k is not None:
+                vals, vecs = vals[:effective_k], vecs[:, :effective_k]
+        else:
+            lap = normalized_laplacian(graph).tocsc()
+            # sigma=0 shift-invert targets the smallest eigenvalues reliably.
+            try:
+                vals, vecs = eigsh(lap, k=effective_k, sigma=-1e-6, which="LM")
+            except ArpackError as exc:
+                # Lanczos breakdown / no convergence: fall back to dense.
+                # Only ARPACK's own failures are absorbed — a shape error or
+                # any other bug still propagates instead of being masked.
+                record_diagnostic(
+                    "spectral", "eigsh_failure",
+                    f"sparse eigsh failed on n={n}, k={effective_k} "
+                    f"({type(exc).__name__}: {exc}); dense eigh fallback",
+                    fallback_used="dense_eigh",
+                )
+                dense = lap.toarray()
+                vals, vecs = eigh(dense)
+                vals, vecs = vals[:effective_k], vecs[:, :effective_k]
+            order = np.argsort(vals)
+            vals, vecs = vals[order], vecs[:, order]
+        return vals, fix_signs(vecs)
+
+    return cached_artifact(graph, "laplacian_eigenpairs", produce,
+                           params={"k": effective_k})
 
 
 def heat_kernel_diagonals(
     eigenvalues: np.ndarray,
     eigenvectors: np.ndarray,
     times: Sequence[float],
+    graph: Graph | None = None,
 ) -> np.ndarray:
     """Diagonals of ``H_t = Phi exp(-t Lambda) Phi^T`` for each ``t``.
 
     Returns a ``(len(times), n)`` array; these are GRASP's corresponding
     functions (paper Eq. 13 restricted to the diagonal).
+
+    When ``graph`` is given the result is routed through the artifact
+    cache, keyed on the basis width ``k`` and the time grid (the
+    eigenpairs themselves are a deterministic function of the graph, so
+    they need not enter the key).
     """
-    sq = eigenvectors ** 2  # (n, k)
     times_arr = np.asarray(list(times), dtype=np.float64)
-    decay = np.exp(-np.outer(times_arr, eigenvalues))  # (T, k)
-    return decay @ sq.T
+
+    def produce() -> np.ndarray:
+        sq = eigenvectors ** 2  # (n, k)
+        decay = np.exp(-np.outer(times_arr, eigenvalues))  # (T, k)
+        return decay @ sq.T
+
+    if graph is None:
+        return produce()
+    return cached_artifact(
+        graph, "heat_kernel_diagonals", produce,
+        params={"k": int(eigenvalues.shape[0]), "times": times_arr.tolist()},
+    )

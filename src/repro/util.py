@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["pairwise_sq_dists", "frobenius_normalize", "degree_prior"]
+from repro.cache import cached_artifact
+
+__all__ = [
+    "pairwise_sq_dists",
+    "frobenius_normalize",
+    "degree_prior",
+    "degree_prior_pair",
+]
 
 
 def pairwise_sq_dists(x: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -45,3 +52,20 @@ def degree_prior(deg_a: np.ndarray, deg_b: np.ndarray) -> np.ndarray:
         sim = 1.0 - np.abs(da - db) / denom
     sim[~np.isfinite(sim)] = 1.0  # both degrees zero
     return sim
+
+
+def degree_prior_pair(source, target) -> np.ndarray:
+    """Degree prior between two graphs, via the artifact cache.
+
+    Algorithms that build the §6.1 prior from a :class:`Graph` pair
+    should call this instead of :func:`degree_prior` directly: within a
+    cache scope the ``(n_source, n_target)`` prior is computed once per
+    ordered pair and shared.  The key lives under the source graph with
+    the target's digest as a parameter, so both orientations get their
+    own entry.
+    """
+    return cached_artifact(
+        source, "degree_prior",
+        lambda: degree_prior(source.degrees, target.degrees),
+        params={"target": target.content_digest().hex()},
+    )

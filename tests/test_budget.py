@@ -105,6 +105,16 @@ class TestCellBudgetValidation:
         with pytest.raises(ExperimentError):
             CellBudget(time_seconds=1, grace_seconds=-1)
 
+    def test_rejects_budget_with_no_limits(self):
+        """A budget that limits nothing is a configuration error."""
+        with pytest.raises(ExperimentError):
+            CellBudget()
+
+    def test_memory_only_budget_is_valid(self):
+        budget = CellBudget(memory_bytes=GIB)
+        assert budget.time_seconds is None
+        assert budget.memory_bytes == GIB
+
     def test_profile_budgets(self):
         budget = PROFILES["full"].cell_budget()
         assert budget.time_seconds == 10800.0
@@ -126,6 +136,20 @@ class TestBudgetRunner:
         assert record.failed
         # Either numpy raised MemoryError cleanly inside the child, or the
         # child died under the cap; both are the paper's ✗, not a crash.
+        assert "MemoryError" in record.error or "died" in record.error
+
+    def test_memory_only_budget_runs_cell_without_deadline(self):
+        """time_seconds=None blocks on the child instead of polling a
+        deadline; a well-behaved cell completes normally."""
+        budget = CellBudget(memory_bytes=4 * GIB)
+        record = run_cell_with_budget("isorank", PAIR, "pl", 1, budget)
+        assert not record.failed
+        assert "accuracy" in record.measures
+
+    def test_memory_only_budget_still_enforces_the_cap(self):
+        budget = CellBudget(memory_bytes=1 * GIB)
+        record = run_cell_with_budget("_hog", PAIR, "pl", 0, budget)
+        assert record.failed
         assert "MemoryError" in record.error or "died" in record.error
 
     def test_dead_child_yields_exit_code_record(self):

@@ -1,0 +1,270 @@
+"""Semantics-neutrality of the artifact cache at the sweep level.
+
+The contract: ``cache=True`` is an *execution* knob, exactly like
+``workers=N``.  A cached sweep emits bit-identical measures, mappings,
+diagnostics, and CSV rows (modulo wall-clock timing columns) to an
+uncached one — for every registered algorithm and every measure — and
+composes with the other execution knobs: parallel workers, budgets, and
+SIGKILL+resume journaling all behave unchanged with caching on.
+
+``REPRO_TEST_CACHE=1`` (the CI cache job) additionally flips the shared
+sweep configuration in :mod:`tests.test_parallel` to run cached.
+"""
+
+import csv
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.algorithms import list_algorithms
+from repro.cache import artifact_cache, caching
+from repro.graphs import powerlaw_cluster_graph
+from repro.harness import ExperimentConfig, RunJournal, run_experiment
+from repro.noise import make_pair
+from repro.observability import counter_totals
+
+ROOT = Path(__file__).resolve().parent.parent
+
+GRAPH = powerlaw_cluster_graph(40, 3, 0.3, seed=5)
+PAIR = make_pair(GRAPH, "one-way", 0.02, seed=9)
+
+ALL_MEASURES = ("accuracy", "mnc", "ec", "ics", "s3")
+
+# Small but complete: every registered algorithm, every measure.
+FULL_CONFIG = dict(
+    name="neutrality", algorithms=sorted(list_algorithms()),
+    noise_levels=(0.0, 0.02), repetitions=1, seed=7,
+    measures=ALL_MEASURES,
+)
+
+
+def canonical(table):
+    """Order- and timing-insensitive view of a result table."""
+    return sorted(
+        (r.algorithm, r.dataset, r.noise_type, round(r.noise_level, 6),
+         r.repetition, r.assignment, tuple(sorted(r.measures.items())),
+         r.failed, r.attempts, tuple(map(str, r.diagnostics)))
+        for r in table.records
+    )
+
+
+# Timing and memory legitimately differ between runs of the same cell;
+# every other CSV column must be bit-identical.
+_TIMING_PREFIXES = ("similarity_time", "assignment_time",
+                    "peak_memory_bytes", "trace_")
+
+
+def _semantic_csv_rows(path):
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    header, body = rows[0], rows[1:]
+    keep = [i for i, name in enumerate(header)
+            if not name.startswith(_TIMING_PREFIXES)
+            and not name.startswith("counter_cache_")]
+    return [tuple(header[i] for i in keep)] + sorted(
+        tuple(row[i] for i in keep) for row in body
+    )
+
+
+class TestSweepNeutrality:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        off = run_experiment(ExperimentConfig(**FULL_CONFIG), {"pl": GRAPH})
+        on = run_experiment(ExperimentConfig(cache=True, **FULL_CONFIG),
+                            {"pl": GRAPH})
+        return off, on
+
+    def test_all_algorithms_all_measures_bit_identical(self, tables):
+        off, on = tables
+        assert len(on) == len(off) == 2 * len(list_algorithms())
+        assert canonical(on) == canonical(off)
+        # The comparison above is not vacuous: every cell succeeded and
+        # every requested measure is present.
+        for record in on.records:
+            assert not record.failed
+            assert set(record.measures) == set(ALL_MEASURES)
+
+    def test_csv_rows_identical_modulo_timing(self, tables, tmp_path):
+        off, on = tables
+        off_path, on_path = tmp_path / "off.csv", tmp_path / "on.csv"
+        off.to_csv(off_path)
+        on.to_csv(on_path)
+        assert _semantic_csv_rows(on_path) == _semantic_csv_rows(off_path)
+
+    def test_serial_vs_workers4_with_cache(self):
+        serial = run_experiment(
+            ExperimentConfig(cache=True, **FULL_CONFIG), {"pl": GRAPH})
+        parallel = run_experiment(
+            ExperimentConfig(cache=True, workers=4, **FULL_CONFIG),
+            {"pl": GRAPH})
+        assert canonical(parallel) == canonical(serial)
+
+    def test_cache_excluded_from_journal_fingerprint(self, tmp_path):
+        """An uncached journal resumes under a cached config (and vice
+        versa): cache, like workers, never invalidates a resume."""
+        journal = tmp_path / "sweep.jsonl"
+        config = dict(name="fp", algorithms=["isorank", "nsd"],
+                      noise_levels=(0.0,), repetitions=1, seed=3)
+        run_experiment(ExperimentConfig(**config), {"pl": GRAPH},
+                       journal=str(journal))
+        executed = []
+        table = run_experiment(
+            ExperimentConfig(cache=True, **config), {"pl": GRAPH},
+            journal=str(journal), progress=executed.append)
+        assert len(table) == 2 and executed == []  # pure replay
+
+
+class TestPerAlgorithmNeutrality:
+    @pytest.mark.parametrize("name", sorted(list_algorithms()))
+    def test_mapping_and_diagnostics_identical(self, name):
+        plain = repro.align(PAIR.source, PAIR.target, method=name, seed=3)
+        with caching(True), artifact_cache():
+            cached = repro.align(PAIR.source, PAIR.target, method=name,
+                                 seed=3)
+            warm = repro.align(PAIR.source, PAIR.target, method=name, seed=3)
+        assert np.array_equal(cached.mapping, plain.mapping)
+        assert np.array_equal(warm.mapping, plain.mapping)
+        assert [str(d) for d in cached.diagnostics] == \
+            [str(d) for d in plain.diagnostics]
+
+
+class TestCacheCounters:
+    """The acceptance criteria, asserted through the trace counters that
+    a cached sweep records into its cells."""
+
+    @staticmethod
+    def _totals(table, algorithm):
+        (record,) = [r for r in table.records if r.algorithm == algorithm]
+        return counter_totals(record.trace)
+
+    def test_grasp_eigensolves_once_per_graph_cold(self):
+        config = ExperimentConfig(
+            name="eig", algorithms=["grasp"], noise_levels=(0.0,),
+            repetitions=1, seed=7, trace=True, cache=True,
+        )
+        table = run_experiment(config, {"pl": GRAPH})
+        totals = self._totals(table, "grasp")
+        assert totals["eigensolver_calls"] == 2  # one per graph, cold
+        assert totals["cache_misses"] > 0
+
+    def test_second_consumer_gets_pure_hits(self):
+        """isorank runs first and produces the stochastic operators and
+        the degree prior; nsd (same artifacts) then records zero misses
+        for them — each (graph, params) artifact is produced exactly
+        once per cell."""
+        config = ExperimentConfig(
+            name="share", algorithms=["isorank", "nsd"],
+            noise_levels=(0.0,), repetitions=1, seed=7,
+            algorithm_params={"nsd": {"prior": "degree"}},
+            trace=True, cache=True,
+        )
+        table = run_experiment(config, {"pl": GRAPH})
+        iso = self._totals(table, "isorank")
+        nsd = self._totals(table, "nsd")
+        # isorank, first in the cell, populates the cache...
+        assert iso["cache_misses"] == 3  # 2× column_stochastic + prior
+        assert iso.get("cache_hits", 0) == 0
+        # ...and nsd consumes it without producing anything new.
+        assert nsd["cache_hits"] == 3
+        assert nsd.get("cache_misses", 0) == 0
+
+    def test_grasp_warm_cell_eigensolves_zero_times(self):
+        with caching(True), artifact_cache():
+            repro.align(PAIR.source, PAIR.target, method="grasp", seed=3)
+            from repro.observability import capture_trace, tracing
+            with tracing(True), capture_trace() as collector:
+                repro.align(PAIR.source, PAIR.target, method="grasp", seed=3)
+        totals = counter_totals(collector.to_payload())
+        assert totals.get("eigensolver_calls", 0) == 0  # fully warm
+        assert totals.get("cache_misses", 0) == 0
+        assert totals["cache_hits"] >= 4
+
+    def test_uncached_sweep_records_no_cache_counters(self):
+        config = ExperimentConfig(
+            name="plain", algorithms=["isorank"], noise_levels=(0.0,),
+            repetitions=1, seed=7, trace=True,
+        )
+        table = run_experiment(config, {"pl": GRAPH})
+        totals = self._totals(table, "isorank")
+        assert not any(key.startswith("cache_") for key in totals)
+
+
+# Driver for kill/resume with caching on: same shape as the parallel
+# suite's driver, but the sweep runs with cache=True (and trace, so the
+# journaled records prove cached cells journal their telemetry too).
+DRIVER = """\
+import os, signal, sys
+from repro.graphs import powerlaw_cluster_graph
+from repro.harness import ExperimentConfig, run_experiment
+
+journal_path, kill_after, workers = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+config = ExperimentConfig(
+    name="cache-kill", algorithms=["isorank", "nsd"],
+    noise_levels=(0.0, 0.02), repetitions=2, seed=7, workers=workers,
+    cache=True,
+)
+graph = powerlaw_cluster_graph(40, 3, 0.3, seed=5)
+count = 0
+
+def progress(message):
+    global count
+    count += 1
+    if kill_after and count > kill_after:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+table = run_experiment(config, {"pl": graph}, progress=progress,
+                       journal=journal_path)
+print(len(table), sum(r.failed for r in table.records))
+"""
+
+
+def _run_driver(journal, kill_after, workers):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-c", DRIVER, str(journal), str(kill_after),
+         str(workers)],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+
+
+class TestKillResumeWithCache:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_sigkilled_cached_sweep_resumes(self, tmp_path, workers):
+        journal = tmp_path / "sweep.jsonl"
+        first = _run_driver(journal, kill_after=3, workers=workers)
+        assert first.returncode == -signal.SIGKILL
+        survived = sorted(RunJournal(journal).keys)
+        assert len(survived) == 3
+
+        second = _run_driver(journal, kill_after=0, workers=workers)
+        assert second.returncode == 0, second.stderr
+        total, failed = map(int, second.stdout.split())
+        assert (total, failed) == (8, 0)
+        final = RunJournal(journal)
+        assert len(sorted(final.keys)) == 8
+        assert set(survived) <= set(final.keys)
+        # The resumed sweep matches a fresh uncached run bit-for-bit.
+        reference = run_experiment(
+            ExperimentConfig(name="cache-kill",
+                             algorithms=["isorank", "nsd"],
+                             noise_levels=(0.0, 0.02), repetitions=2,
+                             seed=7),
+            {"pl": GRAPH})
+        by_key = {
+            (r.algorithm, round(r.noise_level, 6), r.repetition):
+                tuple(sorted(r.measures.items()))
+            for r in reference.records
+        }
+        for record in final.records:
+            key = (record.algorithm, round(record.noise_level, 6),
+                   record.repetition)
+            assert tuple(sorted(record.measures.items())) == by_key[key]

@@ -112,15 +112,35 @@ class TestExperimentCommand:
         assert "isorank" in text
         assert journal.stat().st_size == size_after_first
 
-    def test_memory_limit_requires_timeout(self):
+    def test_memory_limit_without_timeout_is_a_valid_budget(self):
+        """--memory-limit-mb alone builds a memory-only CellBudget: the
+        cell still runs in a capped child, it just has no deadline."""
         code, text = _run([
             "experiment", "--dataset", "ca-netscience",
             "--algorithms", "isorank",
             "--levels", "0", "--reps", "1", "--scale", "0.3",
-            "--memory-limit-mb", "512",
+            "--memory-limit-mb", "2048",
         ])
-        assert code == 2
-        assert "--timeout" in text
+        assert code == 0
+        assert "isorank" in text
+        assert "failed" in text and "0 failed" in text
+
+    def test_cache_flag_matches_uncached_grid(self):
+        """--cache is an execution knob: the printed measure grid is
+        identical with and without it."""
+        base = [
+            "experiment", "--dataset", "ca-netscience",
+            "--algorithms", "isorank", "nsd",
+            "--levels", "0", "0.02", "--reps", "1", "--scale", "0.3",
+        ]
+        code, plain_text = _run(base)
+        assert code == 0
+        code, cached_text = _run(base + ["--cache"])
+        assert code == 0
+        grid = lambda text: [line for line in text.splitlines()
+                             if line.lstrip().startswith(("isorank", "nsd"))]
+        assert grid(cached_text) == grid(plain_text)
+        assert grid(cached_text)
 
     def test_timeout_flag_runs_cells_in_children(self):
         code, text = _run([

@@ -62,3 +62,29 @@ class TestNetAlign:
             NetAlign(alpha=-1.0)
         with pytest.raises(AlgorithmError):
             NetAlign(damping=1.0)
+
+    def test_degree_prior_computed_once_per_cache_scope(self):
+        """The §4 double-computation bug, pinned by the cache counters:
+        aligning *and* scoring inside one artifact-cache scope produces
+        the degree prior exactly once — every further use is a hit."""
+        from repro.cache import artifact_cache, caching
+
+        algo = NetAlign(iterations=5)
+        with caching(True), artifact_cache() as cache:
+            result = algo.align(PAIR.source, PAIR.target,
+                                assignment="mwm", seed=0)
+            algo.objective(PAIR.source, PAIR.target, result.mapping)
+            stats = cache.stats()["by_artifact"]["degree_prior"]
+        assert stats["misses"] == 1
+        assert stats["hits"] >= 1
+
+    def test_cached_and_uncached_runs_agree(self):
+        from repro.cache import artifact_cache, caching
+
+        algo = NetAlign(iterations=5)
+        plain = algo.align(PAIR.source, PAIR.target,
+                           assignment="mwm", seed=0)
+        with caching(True), artifact_cache():
+            cached = algo.align(PAIR.source, PAIR.target,
+                                assignment="mwm", seed=0)
+        assert np.array_equal(plain.mapping, cached.mapping)

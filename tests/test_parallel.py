@@ -10,7 +10,10 @@ parallel mode, since the journal format is identical.
 
 ``REPRO_TEST_WORKERS`` overrides the worker count (CI exercises the pool
 path with 2); the determinism test always compares against ``workers=4``
-per the acceptance criteria.
+per the acceptance criteria.  ``REPRO_TEST_CACHE=1`` flips the shared
+sweep configuration to ``cache=True`` (the CI cache job), so every
+contract in this file — serial equivalence, trace identity, journal
+interchange, kill/resume — is also exercised with the artifact cache on.
 """
 
 import json
@@ -35,12 +38,13 @@ from repro.observability import trace_structure
 ROOT = Path(__file__).resolve().parent.parent
 
 WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+CACHE = bool(int(os.environ.get("REPRO_TEST_CACHE", "0")))
 
 GRAPH = powerlaw_cluster_graph(40, 3, 0.3, seed=5)
 
 CONFIG = dict(
     name="par", algorithms=["isorank", "nsd"],
-    noise_levels=(0.0, 0.02), repetitions=2, seed=7,
+    noise_levels=(0.0, 0.02), repetitions=2, seed=7, cache=CACHE,
 )
 
 
@@ -183,6 +187,7 @@ config = ExperimentConfig(
     name="par", algorithms=["isorank", "nsd"],
     noise_levels=(0.0, 0.02), repetitions=2, seed=7, workers=workers,
     trace=trace,
+    cache=bool(int(os.environ.get("REPRO_TEST_CACHE", "0"))),
 )
 graph = powerlaw_cluster_graph(40, 3, 0.3, seed=5)
 count = 0

@@ -148,6 +148,69 @@ class TestDeterminism:
         assert all(wall > 0 for _stage, wall, _cpu in times(first))
 
 
+class TestCachedGoldenStructures:
+    """The artifact cache only *adds* ``cache_*`` counters inside the
+    spans whose producers it wraps: stripping them from a cold cached
+    run recovers the uncached golden exactly, and the cache toggle
+    without an active scope changes nothing at all."""
+
+    @staticmethod
+    def _strip_cache(structure):
+        def strip(entry):
+            stage, status, counters, children = entry
+            return (
+                stage, status,
+                tuple(c for c in counters if not c.startswith("cache_")),
+                tuple(strip(child) for child in children),
+            )
+        return tuple(strip(entry) for entry in structure)
+
+    @staticmethod
+    def _counter_names(structure):
+        names = set()
+
+        def walk(entry):
+            names.update(entry[2])
+            for child in entry[3]:
+                walk(child)
+
+        for entry in structure:
+            walk(entry)
+        return names
+
+    @pytest.mark.parametrize("name", ["isorank", "nsd", "grasp"])
+    def test_cold_cached_structure_is_golden_plus_cache_counters(self, name):
+        from repro.cache import artifact_cache, caching
+
+        with caching(True), artifact_cache():
+            structure = trace_structure(_traced_run(name))
+        assert self._strip_cache(structure) == GOLDEN[name]
+        counters = self._counter_names(structure)
+        assert "cache_misses" in counters  # cold scope: producers ran
+        assert "cache_bytes" in counters
+
+    def test_warm_cached_grasp_reports_only_hits(self):
+        """A fully warm cell performs zero eigensolves: the producer
+        counter disappears from the spectral span and every lookup is a
+        hit."""
+        from repro.cache import artifact_cache, caching
+
+        with caching(True), artifact_cache():
+            _traced_run("grasp")
+            structure = trace_structure(_traced_run("grasp"))
+        counters = self._counter_names(structure)
+        assert "cache_hits" in counters
+        assert "cache_misses" not in counters
+        assert "eigensolver_calls" not in counters
+
+    def test_toggle_without_scope_leaves_goldens_untouched(self):
+        from repro.cache import caching
+
+        with caching(True):
+            structure = trace_structure(_traced_run("grasp"))
+        assert structure == GOLDEN["grasp"]
+
+
 class TestGoldenCounterValues:
     def test_isorank_iteration_count_pinned(self):
         """The counter carries the *total* for the run; for a seeded run
