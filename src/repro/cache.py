@@ -214,12 +214,20 @@ class ArtifactCache:
     max_bytes:
         LRU bound on the summed payload bytes.  An artifact exceeding
         the whole bound is returned to the caller *uncached*.
+    backing:
+        Optional second tier consulted on memory misses — anything with
+        the ``load(graph, artifact, params) -> (found, value)`` /
+        ``store(graph, artifact, value, params)`` protocol, in practice
+        a :class:`repro.cache_disk.DiskArtifactCache`.  A backing hit
+        avoids the producer; a produced value is pushed down so other
+        processes (and future runs) can reuse it.
     """
 
-    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES):
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES, backing=None):
         if int(max_bytes) <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.max_bytes = int(max_bytes)
+        self.backing = backing
         self._entries: "OrderedDict[Tuple, Tuple[object, int]]" = OrderedDict()
         self._lock = threading.RLock()
         self.hits = 0
@@ -259,6 +267,11 @@ class ArtifactCache:
         *outside* the lock (producers may recurse into the cache for
         sub-artifacts), the result is frozen, stored, and the LRU bound
         enforced by evicting least-recently-used entries.
+
+        With a ``backing`` tier, a memory miss first consults it (still
+        counted as a memory miss — the per-tier split lives in the
+        backing's own stats); only a miss in *both* tiers runs the
+        producer, whose result is pushed down to the backing store.
         """
         key = self._key(graph, artifact, params)
         with self._lock:
@@ -269,7 +282,16 @@ class ArtifactCache:
                 self._count(artifact, "hits")
                 add_counter("cache_hits")
                 return value
-        value = _freeze(producer())
+        value = None
+        from_backing = False
+        if self.backing is not None:
+            from_backing, value = self.backing.load(graph, artifact, params)
+        if not from_backing:
+            value = _freeze(producer())
+            if self.backing is not None:
+                self.backing.store(graph, artifact, value, params=params)
+        else:
+            value = _freeze(value)
         size = _payload_bytes(value)
         with self._lock:
             self.misses += 1

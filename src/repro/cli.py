@@ -121,6 +121,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "processes (default 1 = serial); results and "
                           "journal semantics are identical to a serial "
                           "run")
+    exp.add_argument("--shards", type=int, default=1, metavar="N",
+                     help="run the sweep across N lease-coordinated shard "
+                          "workers that survive killed/hung members "
+                          "(requires --journal; mutually exclusive with "
+                          "--workers); results are identical to a serial "
+                          "run")
+    exp.add_argument("--cache-dir", default=None, metavar="PATH",
+                     help="persist cached per-graph intermediates to this "
+                          "directory (crash-safe, checksum-verified; "
+                          "shared across processes and reruns); implies "
+                          "the in-memory --cache tier above it")
     exp.add_argument("--strict-numerics", action="store_true",
                      help="numerical watchdog fails cells on NaN/Inf/zero "
                           "similarity matrices instead of sanitizing and "
@@ -210,6 +221,10 @@ def _cmd_experiment(args, out) -> int:
     retry = (RetryPolicy(max_attempts=args.retries,
                          backoff_seconds=args.retry_backoff)
              if args.retries > 1 else None)
+    if args.shards > 1 and not args.journal:
+        out.write("error: --shards requires --journal (the shard journals, "
+                  "leases, and done markers live next to it)\n")
+        return 2
     config = ExperimentConfig(
         name=f"cli-{args.dataset}",
         algorithms=args.algorithms,
@@ -226,12 +241,34 @@ def _cmd_experiment(args, out) -> int:
         strict_numerics=args.strict_numerics,
         trace=args.trace,
         cache=args.cache,
+        shards=args.shards,
+        cache_dir=args.cache_dir,
     )
     table = run_experiment(config, {args.dataset: graph},
                            journal=args.journal)
+    recovery_events = None
     if args.journal:
         out.write(f"journal: {args.journal} ({len(table)} cells durable; "
                   f"rerun with the same --journal to resume)\n")
+    if args.shards > 1:
+        from repro.harness.scheduler import load_recovery_events
+        recovery_events = load_recovery_events(args.journal)
+        reclaims = sum(1 for e in recovery_events
+                       if e.get("kind") == "lease_reclaimed")
+        respawns = sum(1 for e in recovery_events
+                       if e.get("kind") == "worker_respawned")
+        out.write(f"recovery: {reclaims} leases reclaimed, "
+                  f"{respawns} workers respawned\n")
+    if args.cache_dir:
+        from repro.cache_disk import DiskArtifactCache, load_cache_events
+        stats = DiskArtifactCache(args.cache_dir).stats()
+        # Quarantines happen inside worker processes; the event log is
+        # the cross-process truth, not this instance's counter.
+        quarantined = sum(1 for e in load_cache_events(args.cache_dir)
+                          if e.get("kind") == "entry_quarantined")
+        out.write(f"disk cache: {stats['entries']} entries, "
+                  f"{stats['payload_bytes']} bytes, "
+                  f"{quarantined} quarantined\n")
     out.write(f"{args.dataset} (n={graph.num_nodes}, m={graph.num_edges}), "
               f"{args.noise_type} noise, mean {args.measure} over "
               f"{args.reps} repetitions:\n")
@@ -257,7 +294,8 @@ def _cmd_experiment(args, out) -> int:
         from repro.harness.report import markdown_report
         with open(args.report, "w") as handle:
             handle.write(markdown_report(
-                table, title=f"{args.dataset} {args.noise_type} sweep"))
+                table, title=f"{args.dataset} {args.noise_type} sweep",
+                recovery_events=recovery_events))
         out.write(f"markdown report written to {args.report}\n")
     if args.csv:
         table.to_csv(args.csv)

@@ -33,12 +33,37 @@ process-level machinery:
   connectivity-requiring algorithms (``requires_connected``).  For this
   mode the call counter counts ``align()`` invocations, since the fault
   must act before the similarity stage.
+
+Three modes target the distributed scheduler and the disk cache
+(:mod:`repro.harness.scheduler`, :mod:`repro.cache_disk`):
+
+* ``"kill_worker"`` SIGKILLs the *current process* mid-similarity — the
+  worker vanishes with its lease held, exactly like an OOM-killed or
+  preempted shard worker, and the supervisor must reclaim the cell;
+* ``"stale_lease"`` suppresses the process's lease heartbeats
+  (:func:`repro.harness.scheduler.suppress_heartbeats`) and then hangs,
+  so a perfectly alive worker looks hung; the supervisor must SIGKILL it
+  and reclaim;
+* ``"corrupt_cache"`` runs the real similarity stage and then flips a
+  byte in one committed disk-cache payload under ``spec.cache_dir``
+  (see :func:`corrupt_random_cache_entry`) — the next reader must
+  quarantine and recompute, never crash or return poisoned data.
+
+Faults injected before a fork are inherited per-process, so in a sharded
+sweep *every* worker would fire an ``on_call=1`` kill — including each
+respawned replacement, forever.  ``FaultSpec.trigger_file`` bounds this:
+when set, the fault additionally requires winning an ``O_EXCL`` create
+of that file, making it one-shot across the whole fleet.
 """
 
 from __future__ import annotations
 
+import os
+import random
+import signal
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Optional
 
 import numpy as np
@@ -48,9 +73,11 @@ from repro.algorithms.base import ALGORITHM_REGISTRY
 from repro.exceptions import ConvergenceError, ExperimentError
 from repro.graphs.graph import Graph
 
-__all__ = ["FaultSpec", "FaultHandle", "inject_fault"]
+__all__ = ["FaultSpec", "FaultHandle", "inject_fault", "claim_trigger",
+           "corrupt_random_cache_entry"]
 
-_MODES = ("raise", "hang", "allocate", "nan", "disconnect")
+_MODES = ("raise", "hang", "allocate", "nan", "disconnect",
+          "kill_worker", "stale_lease", "corrupt_cache")
 
 # Per-process call counts, keyed by algorithm name (lowercase).
 _CALL_COUNTS: Dict[str, int] = {}
@@ -76,6 +103,15 @@ class FaultSpec:
         every call.  Non-triggering calls run the real algorithm
         untouched.  For ``"disconnect"`` the counter counts ``align()``
         invocations; for all other modes it counts similarity calls.
+    trigger_file:
+        When set, a triggering call must *also* win an atomic
+        ``O_EXCL`` create of this path for the fault to fire — one shot
+        across every process that inherited the injection (the file is
+        the claim).  Required for ``"kill_worker"``/``"stale_lease"``
+        in sharded sweeps, where respawned workers re-inherit the fault.
+    cache_dir:
+        The disk-cache root the ``"corrupt_cache"`` mode corrupts
+        (required for that mode, unused otherwise).
     """
 
     mode: str = "raise"
@@ -85,6 +121,8 @@ class FaultSpec:
     )
     hang_seconds: float = 3600.0
     allocate_limit_bytes: int = 8 * 2 ** 30
+    trigger_file: Optional[str] = None
+    cache_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.mode not in _MODES:
@@ -94,6 +132,11 @@ class FaultSpec:
         if self.on_call is not None and self.on_call < 1:
             raise ExperimentError(
                 f"on_call is 1-indexed, got {self.on_call}"
+            )
+        if self.mode == "corrupt_cache" and not self.cache_dir:
+            raise ExperimentError(
+                "the corrupt_cache fault needs cache_dir: the disk cache "
+                "root whose entries it flips bytes in"
             )
 
     def triggers(self, call_number: int) -> bool:
@@ -141,12 +184,72 @@ def _split_components(graph: Graph) -> Graph:
     return Graph(n, edges[same_side])
 
 
+def claim_trigger(spec: FaultSpec) -> bool:
+    """Whether this process wins the right to fire a one-shot fault.
+
+    With no ``trigger_file`` every triggering call fires (historical
+    behavior).  With one, the atomic ``O_EXCL`` create is the claim:
+    exactly one process across the fleet — including workers respawned
+    after the casualty — ever wins it.
+    """
+    if spec.trigger_file is None:
+        return True
+    try:
+        fd = os.open(spec.trigger_file,
+                     os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    except FileExistsError:
+        return False
+    try:
+        os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+    finally:
+        os.close(fd)
+    return True
+
+
+def corrupt_random_cache_entry(cache_dir, seed: int = 0) -> Optional[Path]:
+    """Flip one byte mid-payload in one committed disk-cache entry.
+
+    Picks deterministically (by ``seed``) among the ``objects/**/*.bin``
+    payloads so chaos runs are reproducible; returns the corrupted path,
+    or ``None`` when the cache holds no payloads yet.  The flip lands in
+    the middle of the file — sizes and metadata stay valid, so only the
+    checksum verification on read can catch it.
+    """
+    payloads = sorted(Path(cache_dir).glob("objects/*/*.bin"))
+    if not payloads:
+        return None
+    target = payloads[random.Random(int(seed)).randrange(len(payloads))]
+    blob = bytearray(target.read_bytes())
+    if not blob:
+        return None
+    blob[len(blob) // 2] ^= 0xFF
+    target.write_bytes(bytes(blob))
+    return target
+
+
 def _fire(spec: FaultSpec) -> None:
     if spec.mode == "raise":
         raise spec.exc
     if spec.mode == "hang":
         time.sleep(spec.hang_seconds)
         raise ConvergenceError("injected hang elapsed without being killed")
+    if spec.mode == "kill_worker":
+        # Die the way the scheduler must survive: no cleanup, no exception
+        # path, the lease left behind exactly as a SIGKILLed worker
+        # leaves it.
+        os.kill(os.getpid(), signal.SIGKILL)
+        time.sleep(60)  # unreachable; SIGKILL cannot be handled
+        raise ExperimentError("SIGKILL to self did not terminate")
+    if spec.mode == "stale_lease":
+        # Look hung without being dead: stop refreshing leases, then stall.
+        # In a sharded sweep the supervisor SIGKILLs us mid-sleep; anywhere
+        # else the stall ends as an ordinary transient failure.
+        from repro.harness.scheduler import suppress_heartbeats
+        suppress_heartbeats(True)
+        time.sleep(spec.hang_seconds)
+        raise ConvergenceError(
+            "injected stale lease elapsed without the supervisor killing us"
+        )
     # mode == "allocate": grow until the rlimit (or the safety valve) bites.
     hoard = []
     chunk = 16 * 2 ** 20  # 16 MiB of float64 per step
@@ -195,10 +298,18 @@ class inject_fault:
                     # counted at align() level; run the real stage
                     return super()._similarity(source, target, rng)
                 _CALL_COUNTS[key] = _CALL_COUNTS.get(key, 0) + 1
-                if spec.triggers(_CALL_COUNTS[key]):
+                if spec.triggers(_CALL_COUNTS[key]) and claim_trigger(spec):
                     if spec.mode == "nan":
                         sim = super()._similarity(source, target, rng)
                         return _poison_similarity(sim)
+                    if spec.mode == "corrupt_cache":
+                        # The real stage populates the disk cache; flip a
+                        # byte in whatever it committed so the *next*
+                        # reader must quarantine and recompute.
+                        sim = super()._similarity(source, target, rng)
+                        corrupt_random_cache_entry(spec.cache_dir,
+                                                   seed=_CALL_COUNTS[key])
+                        return sim
                     _fire(spec)
                 return super()._similarity(source, target, rng)
 

@@ -11,7 +11,9 @@ a self-contained stand-in.)
 * :mod:`repro.harness.results` — the record table, aggregation, reports,
 * :mod:`repro.harness.journal` — crash-tolerant write-ahead journal/resume,
 * :mod:`repro.harness.budget` — per-cell time+memory budgets (child procs),
-* :mod:`repro.harness.retry` — retry policy for transient cell failures.
+* :mod:`repro.harness.retry` — retry policy for transient cell failures,
+* :mod:`repro.harness.scheduler` — shard-aware distributed sweeps with
+  lease-based orphan recovery (``ExperimentConfig(shards=N)``).
 """
 
 from repro.harness.config import (
@@ -35,6 +37,10 @@ from repro.harness.runner import (
     run_on_pair,
 )
 from repro.harness.results import ResultTable, RunRecord
+from repro.harness.scheduler import (
+    load_recovery_events,
+    run_sharded_experiment,
+)
 from repro.harness.asciiplot import line_plot
 from repro.harness.timeout import run_cell_with_timeout
 from repro.harness.tuning import GridSearchResult, grid_search
@@ -57,6 +63,8 @@ __all__ = [
     "run_cell_with_budget",
     "RetryPolicy",
     "run_with_retry",
+    "run_sharded_experiment",
+    "load_recovery_events",
     "RunRecord",
     "ResultTable",
     "line_plot",

@@ -103,10 +103,11 @@ class ExperimentConfig:
     algorithms compared, the common assignment method, the noise grid, the
     repetition count, and the random seed everything derives from.
     Execution knobs (``budget``, ``retry_policy``, ``workers``,
-    ``trace``, ``cache``) change how cells run or what extra telemetry
-    they record, never what they compute — they are excluded from the
-    journal fingerprint and a ``workers=N`` sweep yields the same
-    records as a serial one.  ``strict_numerics`` is *not* such a knob: it changes
+    ``trace``, ``cache``, ``shards``, ``cache_dir``,
+    ``lease_timeout_seconds``) change how cells run or what extra
+    telemetry they record, never what they compute — they are excluded
+    from the journal fingerprint and a ``workers=N`` (or ``shards=N``)
+    sweep yields the same records as a serial one.  ``strict_numerics`` is *not* such a knob: it changes
     cell outcomes (a sanitized-and-degraded cell becomes a failed one), so
     it participates in the fingerprint when enabled.
     """
@@ -127,6 +128,9 @@ class ExperimentConfig:
     strict_numerics: bool = False  # watchdog fail-fast instead of sanitize
     trace: bool = False  # record per-cell stage traces (repro.observability)
     cache: bool = False  # share per-graph intermediates via repro.cache
+    shards: int = 1  # >1 runs lease-coordinated shard workers (scheduler)
+    cache_dir: Optional[str] = None  # disk-backed cache (repro.cache_disk)
+    lease_timeout_seconds: float = 30.0  # heartbeat age that orphans a cell
 
     def __post_init__(self):
         if not self.algorithms:
@@ -138,6 +142,20 @@ class ExperimentConfig:
         if self.workers < 1:
             raise ExperimentError(
                 f"workers must be >= 1, got {self.workers}"
+            )
+        if self.shards < 1:
+            raise ExperimentError(
+                f"shards must be >= 1, got {self.shards}"
+            )
+        if self.shards > 1 and self.workers > 1:
+            raise ExperimentError(
+                "shards and workers are alternative fan-out mechanisms; "
+                "set at most one of them above 1"
+            )
+        if self.lease_timeout_seconds <= 0:
+            raise ExperimentError(
+                f"lease_timeout_seconds must be positive, "
+                f"got {self.lease_timeout_seconds}"
             )
         for level in self.noise_levels:
             if not 0.0 <= level < 1.0:

@@ -212,9 +212,12 @@ class RunJournal:
         """
         if os.getpid() != self._owner_pid:
             raise ExperimentError(
-                f"journal {self.path} opened in pid {self._owner_pid} but "
-                f"appended from pid {os.getpid()}; the journal has a single "
-                "writer — stream worker results to the owning process"
+                f"journal shard {self.path} is owned by pid "
+                f"{self._owner_pid} but append was called from pid "
+                f"{os.getpid()} — an open journal crossed a fork/spawn "
+                "boundary; each process must open its own shard (see "
+                "repro.harness.scheduler) or stream records back to the "
+                "owning process"
             )
         if key in self._records:
             return

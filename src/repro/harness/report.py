@@ -6,13 +6,15 @@ line chart for the headline measure, a stage breakdown (per-algorithm
 mean wall time by pipeline stage, plus performance-counter totals, when
 the sweep was traced), a degradation summary (clean vs degraded vs
 failed cells per algorithm, with the diagnostic kinds behind each
-degradation), and a failure inventory.  This is what a user shares from
-a custom experiment; the bench suite's text reports are its sibling.
+degradation), a recovery-event section (lease reclaims and worker
+respawns from a sharded run, when the caller passes the scheduler's
+event log), and a failure inventory.  This is what a user shares from a
+custom experiment; the bench suite's text reports are its sibling.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -79,13 +81,59 @@ def _trace_sections(table: ResultTable) -> list:
     return lines
 
 
+def _recovery_section(events: Sequence[Dict[str, object]]) -> List[str]:
+    """The "recovery events" section for a sharded run's event log.
+
+    ``events`` is :func:`repro.harness.scheduler.load_recovery_events`
+    output (possibly filtered).  Counts come first — that is what a CI
+    assertion or a skimming reader wants — then one bullet per event
+    with enough identity (cell key, pid, reason) to audit a specific
+    reclaim.
+    """
+    lines = ["## recovery events", ""]
+    counts: Dict[str, int] = {}
+    for event in events:
+        kind = str(event.get("kind", "?"))
+        counts[kind] = counts.get(kind, 0) + 1
+    lines.append("| event | count |")
+    lines.append("|---|---|")
+    for kind in sorted(counts):
+        lines.append(f"| {kind} | {counts[kind]} |")
+    lines.append("")
+    for event in events:
+        kind = str(event.get("kind", "?"))
+        if kind == "lease_reclaimed":
+            detail = (f"cell `{event.get('key') or '(unreadable lease)'}` "
+                      f"from pid {event.get('pid')} "
+                      f"({event.get('reason')}, "
+                      f"attempt {event.get('attempts')}"
+                      + (", at startup)" if event.get("at_startup")
+                         else ")"))
+        elif kind == "worker_respawned":
+            detail = (f"shard {event.get('shard')} "
+                      f"(exit code {event.get('exit_code')})")
+        else:
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(event.items())
+                               if k not in ("kind", "time", "pid"))
+        lines.append(f"- {kind}: {detail}")
+    lines.append("")
+    return lines
+
+
 def markdown_report(
     table: ResultTable,
     title: str = "Alignment experiment",
     measures: Sequence[str] = ("accuracy", "s3", "mnc"),
     chart_measure: Optional[str] = "accuracy",
+    recovery_events: Optional[Sequence[Dict[str, object]]] = None,
 ) -> str:
-    """Render a full markdown report for a result table."""
+    """Render a full markdown report for a result table.
+
+    ``recovery_events`` (a sharded run's
+    :func:`~repro.harness.scheduler.load_recovery_events` output) adds a
+    "recovery events" section; ``None`` or an empty list omits it, so
+    serial reports are unchanged.
+    """
     records = table.records
     lines = [f"# {title}", ""]
     datasets = sorted({r.dataset for r in records})
@@ -146,6 +194,9 @@ def markdown_report(
                 lines.append(f"- {name}: {key} ×{count}")
         if any(diag_counts.values()):
             lines.append("")
+
+    if recovery_events:
+        lines.extend(_recovery_section(recovery_events))
 
     failures = [r for r in records if r.failed]
     if failures:

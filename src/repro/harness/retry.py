@@ -7,13 +7,27 @@ thread schedule, spurious non-convergence, a child killed by an external
 actor — can succeed on a second attempt.  :class:`RetryPolicy` retries
 only the error classes named as transient, with exponential backoff, and
 the final record carries the attempt count so sweeps remain auditable.
+
+Backoff can carry **decorrelated jitter** (AWS-style: each delay is
+drawn uniformly between the base backoff and three times the previous
+delay, capped).  Without it, N sharded workers that hit the same
+transient failure — a briefly overloaded filesystem, a BLAS hiccup under
+contention — all sleep the same deterministic schedule and retry in
+lockstep, re-creating the very contention they are backing off from.
+Jitter defaults to *auto*: on for distributed (sharded) runs, off for
+single-process sweeps whose historical delays stay bit-identical.  The
+draw is seeded from the cell's own seed, so a rerun of the same cell
+retries on the same schedule — jitter decorrelates cells from each
+other, never a run from its rerun.
 """
 
 from __future__ import annotations
 
+import hashlib
+import random
 import time
 from dataclasses import dataclass, replace
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.exceptions import ExperimentError
 from repro.harness.results import RunRecord
@@ -26,6 +40,19 @@ DEFAULT_TRANSIENT_ERRORS: Tuple[str, ...] = (
     "LinAlgError",
     "ConvergenceError",
 )
+
+
+def _jitter_rng(jitter_seed: int) -> random.Random:
+    """Process-stable RNG for backoff jitter.
+
+    Seeded through BLAKE2b rather than ``random.Random(int)`` directly so
+    adjacent cell seeds (which differ in few bits) still get uncorrelated
+    delay sequences.
+    """
+    digest = hashlib.blake2b(
+        f"retry-jitter|{int(jitter_seed)}".encode("utf-8"),
+        digest_size=8).digest()
+    return random.Random(int.from_bytes(digest, "big"))
 
 
 @dataclass(frozen=True)
@@ -45,12 +72,23 @@ class RetryPolicy:
         Exception class names considered transient.  A failed record
         whose ``error`` starts with ``"<name>:"`` is retried; anything
         else (timeouts, memory blowouts, unknown algorithms) fails fast.
+    jitter:
+        ``True`` forces decorrelated jitter on, ``False`` forces the
+        deterministic schedule, ``None`` (default) resolves by context:
+        on for distributed runs, off otherwise — see
+        :meth:`jitter_active`.
+    max_backoff_seconds:
+        Cap on any single jittered delay (decorrelated jitter grows
+        multiplicatively and needs a ceiling).  Un-jittered delays keep
+        their historical uncapped schedule.
     """
 
     max_attempts: int = 3
     backoff_seconds: float = 0.0
     backoff_factor: float = 2.0
     retry_on: Tuple[str, ...] = DEFAULT_TRANSIENT_ERRORS
+    jitter: Optional[bool] = None
+    max_backoff_seconds: float = 60.0
 
     def __post_init__(self):
         if self.max_attempts < 1:
@@ -65,21 +103,53 @@ class RetryPolicy:
             raise ExperimentError(
                 f"backoff_factor must be >= 1, got {self.backoff_factor}"
             )
+        if self.max_backoff_seconds <= 0:
+            raise ExperimentError(
+                f"max_backoff_seconds must be positive, "
+                f"got {self.max_backoff_seconds}"
+            )
 
     def is_transient(self, error: str) -> bool:
         """Whether a record's error string names a retryable class."""
         name = error.split(":", 1)[0].strip()
         return name in self.retry_on
 
-    def delay(self, attempt: int) -> float:
-        """Seconds to wait after the given (1-indexed) failed attempt."""
-        return self.backoff_seconds * self.backoff_factor ** (attempt - 1)
+    def jitter_active(self, distributed: bool = False) -> bool:
+        """Resolve the ``jitter`` tri-state for one execution context."""
+        if self.jitter is None:
+            return bool(distributed)
+        return bool(self.jitter)
+
+    def delay(self, attempt: int, jitter_seed: Optional[int] = None,
+              distributed: bool = False) -> float:
+        """Seconds to wait after the given (1-indexed) failed attempt.
+
+        With jitter active and a seed available, the delay after attempt
+        ``i`` is the ``i``-th draw of the decorrelated-jitter recurrence
+        ``d_i = min(cap, U(base, 3 * d_{i-1}))`` from a per-cell RNG —
+        deterministic for a given ``jitter_seed``, decorrelated across
+        seeds.  Otherwise the classic ``base * factor ** (attempt - 1)``
+        schedule applies unchanged.
+        """
+        base = self.backoff_seconds * self.backoff_factor ** (attempt - 1)
+        if (not self.jitter_active(distributed) or jitter_seed is None
+                or self.backoff_seconds <= 0):
+            return base
+        rng = _jitter_rng(jitter_seed)
+        pause = self.backoff_seconds
+        for _ in range(attempt):
+            pause = min(self.max_backoff_seconds,
+                        rng.uniform(self.backoff_seconds,
+                                    max(self.backoff_seconds, pause * 3.0)))
+        return pause
 
 
 def run_with_retry(
     run: Callable[[int], RunRecord],
     policy: RetryPolicy,
     sleep: Callable[[float], None] = time.sleep,
+    jitter_seed: Optional[int] = None,
+    distributed: bool = False,
 ) -> RunRecord:
     """Invoke ``run(attempt)`` under the policy; return the final record.
 
@@ -87,6 +157,8 @@ def run_with_retry(
     :class:`RunRecord` (raising is the caller's bug — cell runners
     convert failures into failed records).  The returned record's
     ``attempts`` field is set to the number of attempts actually made.
+    ``jitter_seed`` (the cell's seed, in the harness) and ``distributed``
+    select the backoff schedule — see :meth:`RetryPolicy.delay`.
     """
     record = None
     for attempt in range(1, policy.max_attempts + 1):
@@ -94,7 +166,8 @@ def run_with_retry(
         if not record.failed or not policy.is_transient(record.error):
             break
         if attempt < policy.max_attempts:
-            pause = policy.delay(attempt)
+            pause = policy.delay(attempt, jitter_seed=jitter_seed,
+                                 distributed=distributed)
             if pause > 0:
                 sleep(pause)
     return replace(record, attempts=attempt)

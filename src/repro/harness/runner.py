@@ -256,9 +256,27 @@ def run_experiment(
     re-attempts transient failures, and ``config.workers > 1`` fans
     independent instances out to a pool of worker processes (see
     :func:`_run_sweep_parallel`) — with identical results, budgets,
-    retries, and journal semantics.
+    retries, and journal semantics.  ``config.shards > 1`` instead runs
+    the lease-coordinated distributed scheduler
+    (:func:`repro.harness.scheduler.run_sharded_experiment`), which
+    tolerates killed and hung workers; it requires ``journal`` to be a
+    *path* because every shard worker owns its own journal file.
+    ``config.cache_dir`` layers a crash-safe disk cache
+    (:mod:`repro.cache_disk`) under every per-instance artifact cache,
+    so eigendecompositions and other per-graph intermediates persist
+    across cells, processes, and reruns.
     """
     factory = pair_factory or _default_pair_factory
+    if int(getattr(config, "shards", 1)) > 1:
+        from repro.harness.scheduler import run_sharded_experiment
+        if journal is None:
+            raise ExperimentError(
+                "a sharded sweep (config.shards > 1) needs a journal path: "
+                "the shard journals, leases, and done markers all live "
+                "next to it"
+            )
+        return run_sharded_experiment(config, graphs, factory, progress,
+                                      journal)
     owns_journal = journal is not None and not isinstance(journal, RunJournal)
     if owns_journal:
         journal = RunJournal(journal, fingerprint=config_fingerprint(config))
@@ -270,6 +288,25 @@ def run_experiment(
     finally:
         if owns_journal:
             journal.close()
+
+
+def _instance_cache(config):
+    """The artifact-cache context pieces one sweep instance should open.
+
+    Returns ``(use_cache, disk)``: whether caching is on at all (an
+    explicit ``cache=True`` *or* a ``cache_dir`` — a disk cache with no
+    in-memory tier above it would be pointless), and the shared
+    :class:`~repro.cache_disk.DiskArtifactCache` backing (or ``None``).
+    The disk cache object is cheap — per-sweep state is all on disk — so
+    callers may construct one per sweep or per worker freely.
+    """
+    cache_dir = getattr(config, "cache_dir", None)
+    use_cache = bool(getattr(config, "cache", False)) or cache_dir is not None
+    disk = None
+    if cache_dir:
+        from repro.cache_disk import DiskArtifactCache
+        disk = DiskArtifactCache(cache_dir)
+    return use_cache, disk
 
 
 # One unit of schedulable work: every pending algorithm of one alignment
@@ -306,7 +343,7 @@ def _collect_instances(config, graphs, journal, table) -> List[InstanceTask]:
 def _run_sweep(config, graphs, factory, progress, journal) -> ResultTable:
     table = ResultTable()
     base_seed = int(config.seed)
-    use_cache = bool(getattr(config, "cache", False))
+    use_cache, disk = _instance_cache(config)
     for dataset, noise_type, level, rep, pending in _collect_instances(
             config, graphs, journal, table):
         seed = cell_seed(base_seed, dataset, noise_type, level, rep)
@@ -316,10 +353,13 @@ def _run_sweep(config, graphs, factory, progress, journal) -> ResultTable:
             # of this cell shares one eigendecomposition, one degree
             # prior, one stochastic normalization per graph.  The scope
             # dies with the instance, so artifacts never leak across
-            # noisy pairs.
+            # noisy pairs — but with a ``cache_dir`` the disk tier under
+            # it persists them across instances and processes.
             if use_cache:
+                from repro.cache import ArtifactCache
                 scope.enter_context(caching(True))
-                scope.enter_context(artifact_cache())
+                scope.enter_context(artifact_cache(
+                    ArtifactCache(backing=disk)))
             for name in pending:
                 if progress is not None:
                     progress(
@@ -359,6 +399,7 @@ def _worker_main(task_queue, result_queue, config, graphs, factory) -> None:
     ``(key, RunRecord)`` so the parent's accounting always balances.
     """
     base_seed = int(config.seed)
+    use_cache, disk = _instance_cache(config)
     while True:
         task = task_queue.get()
         if task is None:  # sentinel: no more instances
@@ -381,10 +422,14 @@ def _worker_main(task_queue, result_queue, config, graphs, factory) -> None:
         with ExitStack() as scope:
             # Same per-instance artifact sharing as the serial loop: the
             # worker opens one cache per instance it processes, keeping
-            # serial and parallel sweeps structurally identical.
-            if bool(getattr(config, "cache", False)):
+            # serial and parallel sweeps structurally identical.  The
+            # disk backing (if any) is what lets sibling workers share
+            # artifacts at all — memory tiers die with each instance.
+            if use_cache:
+                from repro.cache import ArtifactCache
                 scope.enter_context(caching(True))
-                scope.enter_context(artifact_cache())
+                scope.enter_context(artifact_cache(
+                    ArtifactCache(backing=disk)))
             for name in pending:
                 key = cell_key(dataset, noise_type, level, rep, name)
                 record = _execute_cell(config, name, pair, dataset, rep, seed)
@@ -493,5 +538,10 @@ def _execute_cell(config: ExperimentConfig, name: str, pair: GraphPair,
         )
 
     if config.retry_policy is not None:
-        return run_with_retry(attempt, config.retry_policy)
+        # The cell seed doubles as the jitter seed so a rerun of the same
+        # cell backs off on the same schedule; sharded runs count as
+        # distributed, which switches the retry tri-state default on.
+        return run_with_retry(
+            attempt, config.retry_policy, jitter_seed=seed,
+            distributed=int(getattr(config, "shards", 1)) > 1)
     return attempt(1)

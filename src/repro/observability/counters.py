@@ -41,6 +41,12 @@ KNOWN_COUNTERS = {
     "cache_misses": "artifact-cache lookups that ran the producer",
     "cache_evictions": "artifacts dropped to keep the cache under its byte bound",
     "cache_bytes": "payload bytes inserted into the artifact cache",
+    "disk_cache_hits": "disk-cache loads whose checksum verified",
+    "disk_cache_misses": "disk-cache lookups with no (valid) entry on disk",
+    "disk_cache_stores": "artifacts durably published to the disk cache",
+    "disk_cache_bytes": "payload bytes published to the disk cache",
+    "disk_cache_quarantined":
+        "corrupt/truncated/unreadable disk-cache entries moved aside",
 }
 
 

@@ -65,6 +65,68 @@ class TestBackoffSchedule:
         assert slept == []
 
 
+class TestDecorrelatedJitter:
+    def test_tristate_default_auto(self):
+        policy = RetryPolicy()
+        assert not policy.jitter_active(distributed=False)
+        assert policy.jitter_active(distributed=True)
+
+    def test_tristate_forced(self):
+        assert RetryPolicy(jitter=True).jitter_active(distributed=False)
+        assert not RetryPolicy(jitter=False).jitter_active(distributed=True)
+
+    def test_deterministic_per_seed(self):
+        policy = RetryPolicy(backoff_seconds=1.0, jitter=True)
+        for attempt in (1, 2, 3):
+            assert policy.delay(attempt, jitter_seed=42) == \
+                policy.delay(attempt, jitter_seed=42)
+
+    def test_decorrelated_across_seeds(self):
+        """Adjacent seeds — the lockstep-retry scenario — get different
+        schedules; that is the whole point of the jitter."""
+        policy = RetryPolicy(backoff_seconds=1.0, jitter=True)
+        delays = {round(policy.delay(2, jitter_seed=seed), 9)
+                  for seed in range(20)}
+        assert len(delays) > 15
+
+    def test_delays_bounded(self):
+        policy = RetryPolicy(backoff_seconds=1.0, jitter=True,
+                             max_backoff_seconds=5.0)
+        for attempt in range(1, 30):
+            delay = policy.delay(attempt, jitter_seed=7)
+            assert 1.0 <= delay <= 5.0
+
+    def test_unjittered_schedule_unchanged(self):
+        """jitter=False (and no-seed / non-distributed defaults) keep
+        the historical uncapped exponential schedule bit-for-bit."""
+        policy = RetryPolicy(backoff_seconds=1.0, backoff_factor=2.0,
+                             jitter=False)
+        assert [policy.delay(a, jitter_seed=1, distributed=True)
+                for a in (1, 2, 3)] == [1.0, 2.0, 4.0]
+        auto = RetryPolicy(backoff_seconds=1.0, backoff_factor=2.0)
+        assert auto.delay(2, jitter_seed=1) == 2.0  # not distributed
+        assert auto.delay(2, distributed=True) == 2.0  # no seed to draw from
+
+    def test_zero_backoff_stays_zero_with_jitter(self):
+        policy = RetryPolicy(backoff_seconds=0.0, jitter=True)
+        assert policy.delay(3, jitter_seed=1, distributed=True) == 0.0
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ExperimentError):
+            RetryPolicy(max_backoff_seconds=0.0)
+
+    def test_run_with_retry_threads_jitter_through(self):
+        slept = []
+        policy = RetryPolicy(max_attempts=3, backoff_seconds=0.1,
+                             jitter=True)
+        run_with_retry(
+            lambda attempt: _record(failed=True, error="LinAlgError: x"),
+            policy, sleep=slept.append, jitter_seed=11, distributed=True,
+        )
+        assert slept == [policy.delay(1, jitter_seed=11, distributed=True),
+                         policy.delay(2, jitter_seed=11, distributed=True)]
+
+
 class TestRunWithRetry:
     def test_success_first_try(self):
         calls = []
