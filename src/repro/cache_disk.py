@@ -48,6 +48,7 @@ is under a byte bound and clears quarantined files older than a cutoff.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import pickle
@@ -109,14 +110,21 @@ def _fsync_dir(path: Path) -> None:
         os.close(fd)
 
 
+_TMP_SERIAL = itertools.count()
+
+
 def atomic_write_bytes(path: Path, blob: bytes, fsync: bool = True) -> None:
     """Publish ``blob`` at ``path`` via temp file + fsync + atomic rename.
 
     Readers never observe a partial file: they see either the old content
     or the new, complete content.  The temp file lives in the same
-    directory so the rename cannot cross filesystems.
+    directory so the rename cannot cross filesystems, and its name is
+    unique per call (pid + serial), not just per process — two *threads*
+    racing to publish the same path must not share a temp file, or the
+    loser renames a file the winner already moved.
     """
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp = path.with_name(
+        f".{path.name}.{os.getpid()}.{next(_TMP_SERIAL)}.tmp")
     with open(tmp, "wb") as handle:
         handle.write(blob)
         handle.flush()
@@ -367,48 +375,88 @@ class DiskArtifactCache:
             "payload_bytes": payload_bytes,
         }
 
-    def prune(self, max_bytes: Optional[int] = None,
-              quarantine_max_age_seconds: Optional[float] = None) -> int:
-        """GC: evict LRU entries over a byte bound; clear old quarantine.
+    def prune_report(self, max_bytes: Optional[int] = None,
+                     quarantine_max_age_seconds: Optional[float] = None,
+                     dry_run: bool = False) -> Dict[str, object]:
+        """GC with a full accounting dict; ``dry_run`` plans without deleting.
 
         Entries are ranked by payload mtime (reads do not touch mtimes,
         so this is insertion-ordered — a coarse LRU adequate for a
-        cross-run cache).  Returns the number of entries removed.
-        Safe to run while workers are active: a reader that loses the
-        race to a pruned entry sees an ordinary miss.
+        cross-run cache); eviction continues until payload bytes fit
+        under ``max_bytes``.  Quarantined files older than the age
+        cutoff are cleared.  The report carries before/after entry and
+        byte totals plus what was (or, dry, *would be*) removed — the
+        shape ``repro cache prune`` prints.  Safe to run while workers
+        are active: a reader that loses the race to a pruned entry sees
+        an ordinary miss.
         """
-        removed = 0
+        entries = []
+        for payload_path in self.objects_dir.glob(f"*/*{_PAYLOAD_SUFFIX}"):
+            try:
+                stat = payload_path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, payload_path))
+        entries.sort()
+        total = sum(size for _, size, _ in entries)
+        report: Dict[str, object] = {
+            "dry_run": bool(dry_run),
+            "entries_before": len(entries),
+            "payload_bytes_before": total,
+            "entries_removed": 0,
+            "bytes_freed": 0,
+            "quarantine_files_removed": 0,
+            "quarantine_bytes_freed": 0,
+        }
         if max_bytes is not None:
-            entries = []
-            for payload_path in self.objects_dir.glob(
-                    f"*/*{_PAYLOAD_SUFFIX}"):
-                try:
-                    stat = payload_path.stat()
-                except OSError:
-                    continue
-                entries.append((stat.st_mtime, stat.st_size, payload_path))
-            entries.sort()
-            total = sum(size for _, size, _ in entries)
             for _, size, payload_path in entries:
                 if total <= max_bytes:
                     break
-                meta_path = payload_path.with_suffix(_META_SUFFIX)
-                for path in (meta_path, payload_path):
-                    try:
-                        path.unlink()
-                    except OSError:
-                        pass
+                if not dry_run:
+                    meta_path = payload_path.with_suffix(_META_SUFFIX)
+                    for path in (meta_path, payload_path):
+                        try:
+                            path.unlink()
+                        except OSError:
+                            pass
                 total -= size
-                removed += 1
+                report["entries_removed"] += 1
+                report["bytes_freed"] += size
         if quarantine_max_age_seconds is not None:
             cutoff = time.time() - quarantine_max_age_seconds
             for path in self.quarantine_dir.iterdir():
                 try:
-                    if path.stat().st_mtime < cutoff:
+                    stat = path.stat()
+                    if stat.st_mtime >= cutoff:
+                        continue
+                    if not dry_run:
                         path.unlink()
                 except OSError:
-                    pass
-        return removed
+                    continue
+                report["quarantine_files_removed"] += 1
+                report["quarantine_bytes_freed"] += stat.st_size
+        report["entries_after"] = (report["entries_before"]
+                                   - report["entries_removed"])
+        report["payload_bytes_after"] = total
+        if not dry_run and (report["entries_removed"]
+                            or report["quarantine_files_removed"]):
+            self._record_event("cache_pruned", **report)
+        return report
+
+    def prune(self, max_bytes: Optional[int] = None,
+              quarantine_max_age_seconds: Optional[float] = None,
+              dry_run: bool = False) -> int:
+        """GC: evict LRU entries over a byte bound; clear old quarantine.
+
+        Returns the number of entries removed (quarantine clearances not
+        counted); see :meth:`prune_report` for the full accounting and
+        the dry-run planner.
+        """
+        return int(self.prune_report(
+            max_bytes=max_bytes,
+            quarantine_max_age_seconds=quarantine_max_age_seconds,
+            dry_run=dry_run,
+        )["entries_removed"])
 
     def __repr__(self) -> str:
         return (f"DiskArtifactCache({str(self.root)!r}, hits={self.hits}, "

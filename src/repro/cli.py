@@ -150,6 +150,64 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--report", default=None, metavar="PATH",
                      help="write a self-contained markdown report of the "
                           "sweep here")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the crash-safe alignment service on a service directory")
+    serve.add_argument("--service-dir", required=True, metavar="PATH",
+                       help="directory holding tickets, queue, result cache, "
+                            "and event log (created if missing; restart with "
+                            "the same path to recover)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="concurrent request executors (default 2)")
+    serve.add_argument("--max-depth", type=int, default=256, metavar="N",
+                       help="backlog bound: new submissions beyond this are "
+                            "rejected with retry-after (default 256)")
+    serve.add_argument("--lease-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="heartbeat staleness bound before a dead "
+                            "worker's request is re-leased (default 30)")
+    serve.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                       help="orphaned executions per ticket before it is "
+                            "failed instead of re-queued (default 3)")
+    serve.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="total attempts per request for transient "
+                            "failures (default 1 = no retry)")
+    serve.add_argument("--retry-backoff", type=float, default=0.5,
+                       help="seconds before the first retry, doubled per "
+                            "further attempt (decorrelated jitter applied)")
+    serve.add_argument("--memory-limit-mb", type=float, default=None,
+                       help="cap each request's address space")
+    serve.add_argument("--default-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="deadline applied to requests that submit "
+                            "without one (default: none)")
+    serve.add_argument("--drain-when-idle", action="store_true",
+                       help="batch mode: drain and exit once the backlog "
+                            "is empty instead of serving forever")
+    serve.add_argument("--status", action="store_true",
+                       help="print the service's health, ticket counts, and "
+                            "recovery events instead of serving")
+
+    cache = sub.add_parser(
+        "cache", help="inspect and maintain the disk artifact cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    prune = cache_sub.add_parser(
+        "prune", help="evict LRU entries over a byte bound and age out "
+                      "quarantined files")
+    prune.add_argument("--cache-dir", required=True, metavar="PATH")
+    prune.add_argument("--max-mb", type=float, default=None,
+                       help="evict least-recently-stored entries until "
+                            "payload bytes fit under this bound")
+    prune.add_argument("--quarantine-max-age-hours", type=float, default=None,
+                       help="delete quarantined files older than this")
+    prune.add_argument("--dry-run", action="store_true",
+                       help="report what would be removed without deleting "
+                            "anything")
+    cache_stats = cache_sub.add_parser(
+        "stats", help="print entry/byte/quarantine totals for a cache "
+                      "directory")
+    cache_stats.add_argument("--cache-dir", required=True, metavar="PATH")
     return parser
 
 
@@ -303,6 +361,100 @@ def _cmd_experiment(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    import json
+
+    from repro.service import (AlignmentService, TicketStore,
+                               load_service_events, read_health)
+
+    if args.status:
+        health = read_health(args.service_dir)
+        if health is None:
+            out.write("no heartbeat published yet (has the service run "
+                      "on this directory?)\n")
+        else:
+            out.write(json.dumps(health, sort_keys=True, indent=2) + "\n")
+        store = TicketStore(f"{args.service_dir}/tickets")
+        counts = store.counts()
+        store.close()
+        out.write("tickets: " + "  ".join(
+            f"{state}={count}" for state, count in counts.items()) + "\n")
+        events = load_service_events(args.service_dir)
+        kinds: dict = {}
+        for event in events:
+            kinds[event.get("kind")] = kinds.get(event.get("kind"), 0) + 1
+        out.write("events: " + "  ".join(
+            f"{kind}={count}" for kind, count in sorted(kinds.items()))
+            + "\n")
+        return 0
+
+    import asyncio
+
+    from repro.harness import RetryPolicy
+
+    retry = (RetryPolicy(max_attempts=args.retries,
+                         backoff_seconds=args.retry_backoff)
+             if args.retries > 1 else None)
+    memory = (int(args.memory_limit_mb * 2 ** 20)
+              if args.memory_limit_mb is not None else None)
+    service = AlignmentService(
+        args.service_dir,
+        max_depth=args.max_depth,
+        workers=args.workers,
+        lease_timeout_seconds=args.lease_timeout,
+        max_attempts=args.max_attempts,
+        retry_policy=retry,
+        default_deadline_seconds=args.default_deadline,
+        memory_limit_bytes=memory,
+    )
+    out.write(f"serving {args.service_dir} with {args.workers} workers "
+              f"(backlog {service.queue.depth()}/{args.max_depth}; "
+              "SIGTERM drains gracefully)\n")
+    try:
+        summary = asyncio.run(service.serve(
+            stop_when_idle=args.drain_when_idle))
+    finally:
+        service.close()
+    tickets = summary["tickets"]
+    out.write("drained; tickets: " + "  ".join(
+        f"{state}={count}" for state, count in tickets.items()) + "\n")
+    return 0
+
+
+def _cmd_cache(args, out) -> int:
+    from repro.cache_disk import DiskArtifactCache
+
+    disk = DiskArtifactCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = disk.stats()
+        out.write(f"entries: {stats['entries']}\n"
+                  f"payload bytes: {stats['payload_bytes']}\n")
+        quarantined = sum(1 for _ in disk.quarantine_dir.iterdir())
+        out.write(f"quarantined files: {quarantined}\n")
+        return 0
+    if args.max_mb is None and args.quarantine_max_age_hours is None:
+        out.write("error: give --max-mb and/or --quarantine-max-age-hours "
+                  "(otherwise there is nothing to prune)\n")
+        return 2
+    max_bytes = (int(args.max_mb * 2 ** 20)
+                 if args.max_mb is not None else None)
+    max_age = (args.quarantine_max_age_hours * 3600.0
+               if args.quarantine_max_age_hours is not None else None)
+    report = disk.prune_report(max_bytes=max_bytes,
+                               quarantine_max_age_seconds=max_age,
+                               dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    out.write(f"{verb} {report['entries_removed']} entries "
+              f"({report['bytes_freed']} bytes) and "
+              f"{report['quarantine_files_removed']} quarantined files "
+              f"({report['quarantine_bytes_freed']} bytes)\n")
+    out.write(f"entries: {report['entries_before']} -> "
+              f"{report['entries_after']}, payload bytes: "
+              f"{report['payload_bytes_before']} -> "
+              f"{report['payload_bytes_after']}\n")
+    return 0
+
+
 def _parse_value(raw: str):
     """Best-effort literal parsing for grid values (int > float > str)."""
     for caster in (int, float):
@@ -341,6 +493,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_align(args, out)
     if args.command == "tune":
         return _cmd_tune(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "cache":
+        return _cmd_cache(args, out)
     return _cmd_experiment(args, out)
 
 

@@ -72,6 +72,9 @@ __all__ = [
     "read_attempts",
     "bump_attempts",
     "suppress_heartbeats",
+    "EventLog",
+    "event_log_segments",
+    "load_event_segments",
     "load_recovery_events",
     "merge_shard_records",
     "run_sharded_experiment",
@@ -366,40 +369,106 @@ class _HeartbeatThread(threading.Thread):
 # Recovery-event log
 
 
-class _EventLog:
-    """Supervisor-owned append log of recovery events (single writer)."""
+# Rotation bounds for the recovery-event log: a long-lived supervisor
+# (or the alignment service, which shares this class) must not grow one
+# append-only file without limit.
+DEFAULT_EVENT_LOG_MAX_BYTES = 1 << 20
+DEFAULT_EVENT_LOG_SEGMENTS = 8
 
-    def __init__(self, path: Path):
+
+class EventLog:
+    """Append log of recovery events with bounded growth.
+
+    Single live writer per path (the supervisor, or one service
+    process); readers are free.  Once the live file would exceed
+    ``max_bytes`` it is rotated — atomically renamed to a numbered
+    segment (``<name>.0001``, ``<name>.0002``, ...) — and segments past
+    ``max_segments`` are compacted away oldest-first, so total disk use
+    is bounded by roughly ``max_bytes * (max_segments + 1)``.
+    :func:`load_event_segments` reads the full history across every
+    surviving segment plus the live file.  Thread-safe: the service
+    records events from worker threads.
+    """
+
+    def __init__(self, path: Path,
+                 max_bytes: int = DEFAULT_EVENT_LOG_MAX_BYTES,
+                 max_segments: int = DEFAULT_EVENT_LOG_SEGMENTS):
         self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.max_segments = max(int(max_segments), 1)
         self._handle = None
+        self._lock = threading.Lock()
 
     def record(self, kind: str, **details) -> None:
         entry = {"kind": kind, "time": time.time(), "pid": os.getpid()}
         entry.update(details)
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
-        self._handle.flush()
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            try:
+                size = os.fstat(self._handle.fileno()).st_size
+            except OSError:
+                size = 0
+            if (self.max_bytes and size
+                    and size + len(line.encode("utf-8")) > self.max_bytes):
+                self._rotate_locked()
+            self._handle.write(line)
+            self._handle.flush()
+            try:
+                os.fsync(self._handle.fileno())
+            except OSError:
+                pass
+
+    def _rotate_locked(self) -> None:
+        """Seal the live file as the next numbered segment; compact."""
+        self._handle.close()
+        self._handle = None
+        segments = event_log_segments(self.path)
+        next_index = 1
+        if segments:
+            next_index = int(segments[-1].name.rsplit(".", 1)[1]) + 1
         try:
-            os.fsync(self._handle.fileno())
+            os.replace(self.path,
+                       self.path.with_name(f"{self.path.name}"
+                                           f".{next_index:04d}"))
         except OSError:
-            pass
+            pass  # rotation is best-effort; appending must go on
+        segments = event_log_segments(self.path)
+        while len(segments) > self.max_segments:
+            try:
+                segments.pop(0).unlink()
+            except OSError:
+                pass
+        self._handle = open(self.path, "a", encoding="utf-8")
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
 
-def load_recovery_events(journal_base: Union[str, Path]
-                         ) -> List[Dict[str, object]]:
-    """The scheduler's recovery events for one journal base path.
+# Back-compat alias for the pre-rotation private name.
+_EventLog = EventLog
 
-    Tolerates a truncated trailing line (the supervisor can be SIGKILLed
-    mid-append like anyone else).
-    """
-    path = ShardPaths(journal_base, 1).events_path
+
+def event_log_segments(path: Union[str, Path]) -> List[Path]:
+    """Rotated segments of one event log, oldest first (live file excluded)."""
+    path = Path(path)
+    prefix = f"{path.name}."
+    found = []
+    for candidate in path.parent.glob(f"{path.name}.*"):
+        suffix = candidate.name[len(prefix):]
+        if suffix.isdigit():
+            found.append((int(suffix), candidate))
+    return [segment for _, segment in sorted(found)]
+
+
+def _read_event_file(path: Path) -> List[Dict[str, object]]:
+    """One segment's events, tolerating a truncated trailing line (the
+    writer can be SIGKILLed mid-append like anyone else)."""
     events: List[Dict[str, object]] = []
     try:
         raw = path.read_bytes()
@@ -413,6 +482,26 @@ def load_recovery_events(journal_base: Union[str, Path]
         except json.JSONDecodeError:
             break
     return events
+
+
+def load_event_segments(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Every event across rotated segments plus the live file, in order."""
+    path = Path(path)
+    events: List[Dict[str, object]] = []
+    for segment in event_log_segments(path):
+        events.extend(_read_event_file(segment))
+    events.extend(_read_event_file(path))
+    return events
+
+
+def load_recovery_events(journal_base: Union[str, Path]
+                         ) -> List[Dict[str, object]]:
+    """The scheduler's recovery events for one journal base path.
+
+    Reads across rotated segments (oldest first) and the live file, and
+    tolerates a truncated trailing line in any of them.
+    """
+    return load_event_segments(ShardPaths(journal_base, 1).events_path)
 
 
 # ----------------------------------------------------------------------
@@ -546,6 +635,32 @@ def _orphan_attempt_limit(config) -> int:
     return DEFAULT_ORPHAN_ATTEMPTS
 
 
+class _GracefulExit(SystemExit):
+    """Raised by the worker's SIGTERM handler to unwind cleanly.
+
+    A ``SystemExit`` subclass so an un-caught drain still exits the
+    process with code 0, while the per-cell handler can distinguish a
+    drain (account the burned attempt, release the lease) from a crash.
+    """
+
+    def __init__(self):
+        super().__init__(0)
+
+
+def _install_worker_sigterm_handler():
+    """Route SIGTERM through :class:`_GracefulExit`; returns the previous
+    handler, or ``None`` when installation is impossible (not the main
+    thread — e.g. a worker body driven in-process by a test)."""
+
+    def _on_sigterm(_signum, _frame):
+        raise _GracefulExit()
+
+    try:
+        return signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        return None
+
+
 def _shard_worker_main(shard_index: int, base: str, config, graphs,
                        factory, fingerprint: str) -> None:
     """Worker body: claim → run → journal → done-marker → release, forever.
@@ -556,12 +671,19 @@ def _shard_worker_main(shard_index: int, base: str, config, graphs,
     leased.  It exits when every cell has a done marker, or when its
     supervisor disappears (``getppid() == 1`` — an orphaned worker must
     not soldier on against a sweep nobody owns).
+
+    SIGTERM drains the worker gracefully: the handler unwinds the run
+    loop, the burned attempt is tombstoned, and the held lease is
+    released cleanly — so a supervisor ``terminate()`` (or an operator's
+    kill) leaves nothing for stale-lease reclaim to clean up.  SIGKILL
+    remains the covered-by-reclaim death path.
     """
     from contextlib import ExitStack
 
     from repro.cache import ArtifactCache, artifact_cache, caching
     from repro.harness.runner import _execute_cell, cell_seed
 
+    previous_sigterm = _install_worker_sigterm_handler()
     paths = ShardPaths(base, int(getattr(config, "shards", 1)))
     journal = RunJournal(paths.shard(shard_index), fingerprint=fingerprint)
     use_cache = bool(getattr(config, "cache", False)) or \
@@ -633,6 +755,12 @@ def _shard_worker_main(shard_index: int, base: str, config, graphs,
                                 record, attempts=record.attempts + prior)
                     journal.append(cell.key, record)
                     _publish_done(paths, cell.key)
+                except _GracefulExit:
+                    # Drained mid-cell: tombstone the burned attempt so
+                    # the orphan bound still holds, then unwind; the
+                    # finally below releases the lease cleanly.
+                    bump_attempts(paths.lease_dir, cell.key)
+                    raise
                 finally:
                     heartbeat.untrack(claim)
                     release_lease(claim)
@@ -652,6 +780,11 @@ def _shard_worker_main(shard_index: int, base: str, config, graphs,
     finally:
         heartbeat.stop()
         journal.close()
+        if previous_sigterm is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous_sigterm)
+            except (ValueError, TypeError):
+                pass
 
 
 # ----------------------------------------------------------------------
@@ -689,7 +822,7 @@ def run_sharded_experiment(
     paths = ShardPaths(journal, n_shards)
     paths.ensure_dirs()
     fingerprint = config_fingerprint(config)
-    events = _EventLog(paths.events_path)
+    events = EventLog(paths.events_path)
     cells = _enumerate_cells(config, graphs)
     cell_keys = {cell.key for cell in cells}
     lease_timeout = float(getattr(config, "lease_timeout_seconds", 30.0))

@@ -1,0 +1,48 @@
+"""Alignment-as-a-service: crash-safe ticketed batch front-end.
+
+Submit a graph pair, get a content-addressed ticket, poll it to a
+terminal state, fetch the measured record — with admission control,
+per-request deadlines, retries, graceful draining, and full recovery
+after SIGKILL.  See :mod:`repro.service.server` for the robustness
+contract and ``docs/api.md`` for the client walkthrough.
+"""
+
+from repro.service.queue import (
+    DEFAULT_MEASURES,
+    AlignmentRequest,
+    DurableRequestQueue,
+    QueueFull,
+)
+from repro.service.server import (
+    RESULT_ARTIFACT,
+    AlignmentService,
+    ServiceUnavailable,
+    load_service_events,
+    read_health,
+)
+from repro.service.tickets import (
+    TERMINAL_STATES,
+    TICKET_STATES,
+    Ticket,
+    TicketError,
+    TicketStore,
+    ticket_key,
+)
+
+__all__ = [
+    "AlignmentRequest",
+    "AlignmentService",
+    "DEFAULT_MEASURES",
+    "DurableRequestQueue",
+    "QueueFull",
+    "RESULT_ARTIFACT",
+    "ServiceUnavailable",
+    "TERMINAL_STATES",
+    "TICKET_STATES",
+    "Ticket",
+    "TicketError",
+    "TicketStore",
+    "load_service_events",
+    "read_health",
+    "ticket_key",
+]

@@ -214,3 +214,89 @@ class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--service-dir", "/s"])
+        assert args.workers == 2 and args.max_depth == 256
+        assert args.lease_timeout == 30.0 and args.max_attempts == 3
+        assert not args.drain_when_idle and not args.status
+
+    def test_drain_when_idle_completes_batch(self, tmp_path):
+        from repro.graphs.generators import erdos_renyi_graph
+        from repro.noise import make_pair
+        from repro.service import AlignmentRequest, AlignmentService
+
+        service_dir = tmp_path / "svc"
+        svc = AlignmentService(service_dir)
+        pair = make_pair(erdos_renyi_graph(14, 0.3, seed=1),
+                         "one-way", 0.1, seed=1)
+        ticket = svc.submit_sync(AlignmentRequest(
+            source=pair.source, target=pair.target, algorithm="isorank",
+            seed=1, ground_truth=pair.ground_truth))
+        svc.close()
+        code, text = _run(["serve", "--service-dir", str(service_dir),
+                           "--drain-when-idle", "--workers", "1"])
+        assert code == 0
+        assert "drained" in text
+        check = AlignmentService(service_dir)
+        assert check.status_sync(ticket.key).state == "done"
+        check.close()
+
+    def test_status_reports_health_and_counts(self, tmp_path):
+        from repro.service import AlignmentService
+
+        service_dir = tmp_path / "svc"
+        svc = AlignmentService(service_dir)
+        svc.write_heartbeat()
+        svc.close()
+        code, text = _run(["serve", "--service-dir", str(service_dir),
+                           "--status"])
+        assert code == 0
+        assert "backlog" in text and "pending" in text
+
+
+class TestCacheCommand:
+    def _seed_cache(self, tmp_path):
+        from repro.cache_disk import DiskArtifactCache
+
+        disk = DiskArtifactCache(tmp_path / "cache")
+        graph = powerlaw_cluster_graph(20, 2, 0.3, seed=3)
+        disk.store(graph, "basis", np.arange(6.0))
+        return disk
+
+    def test_requires_cache_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_prune_without_bounds_is_an_error(self, tmp_path):
+        self._seed_cache(tmp_path)
+        code, text = _run(["cache", "prune",
+                           "--cache-dir", str(tmp_path / "cache")])
+        assert code == 2
+
+    def test_prune_dry_run_removes_nothing(self, tmp_path):
+        disk = self._seed_cache(tmp_path)
+        code, text = _run(["cache", "prune",
+                           "--cache-dir", str(tmp_path / "cache"),
+                           "--max-mb", "0", "--dry-run"])
+        assert code == 0
+        assert "would remove" in text
+        assert disk.stats()["entries"] == 1  # untouched
+
+    def test_prune_evicts_over_budget(self, tmp_path):
+        disk = self._seed_cache(tmp_path)
+        code, text = _run(["cache", "prune",
+                           "--cache-dir", str(tmp_path / "cache"),
+                           "--max-mb", "0"])
+        assert code == 0
+        assert "removed" in text
+        assert disk.stats()["entries"] == 0
+
+    def test_stats_reports_entry_count(self, tmp_path):
+        self._seed_cache(tmp_path)
+        code, text = _run(["cache", "stats",
+                           "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        assert "entries" in text

@@ -283,6 +283,73 @@ class TestMaintenance:
         assert not list(tmp_path.glob(".x.bin.*"))  # no temp litter
 
 
+    def test_prune_report_dry_run_removes_nothing(self, tmp_path):
+        disk = DiskArtifactCache(tmp_path)
+        old_payload, _ = _populate(disk, artifact="old")
+        new_payload, _ = _populate(disk, artifact="new")
+        os.utime(old_payload, (1, 1))
+        report = disk.prune_report(max_bytes=new_payload.stat().st_size,
+                                   dry_run=True)
+        assert report["dry_run"] is True
+        assert report["entries_removed"] == 1
+        assert report["bytes_freed"] == old_payload.stat().st_size
+        assert old_payload.exists() and new_payload.exists()
+        assert report["entries_before"] == 2
+        assert report["entries_after"] == 1  # what a real prune would leave
+
+    def test_prune_report_accounts_real_eviction(self, tmp_path):
+        disk = DiskArtifactCache(tmp_path)
+        old_payload, _ = _populate(disk, artifact="old")
+        new_payload, _ = _populate(disk, artifact="new")
+        os.utime(old_payload, (1, 1))
+        doomed = old_payload.stat().st_size
+        report = disk.prune_report(max_bytes=new_payload.stat().st_size)
+        assert report["dry_run"] is False
+        assert report["entries_removed"] == 1
+        assert report["bytes_freed"] == doomed
+        assert not old_payload.exists()
+        assert report["payload_bytes_after"] == new_payload.stat().st_size
+
+    def test_prune_report_counts_quarantine(self, tmp_path):
+        disk = DiskArtifactCache(tmp_path)
+        payload, _meta = _populate(disk)
+        payload.write_bytes(b"junk")
+        disk.load(GRAPH, "basis")
+        for path in disk.quarantine_dir.iterdir():
+            os.utime(path, (1, 1))
+        report = disk.prune_report(quarantine_max_age_seconds=60.0)
+        assert report["quarantine_files_removed"] >= 1
+        assert report["quarantine_bytes_freed"] > 0
+        assert not list(disk.quarantine_dir.iterdir())
+
+    def test_concurrent_atomic_writes_to_one_target(self, tmp_path):
+        """Two threads racing the same destination must both succeed
+        (distinct temp names), leaving one of the two payloads."""
+        import threading
+
+        target = tmp_path / "contended.bin"
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def writer(body):
+            barrier.wait()
+            try:
+                for _ in range(50):
+                    atomic_write_bytes(target, body, fsync=False)
+            except OSError as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(body,))
+                   for body in (b"alpha", b"bravo")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert target.read_bytes() in (b"alpha", b"bravo")
+        assert not list(tmp_path.glob(".contended.bin.*"))
+
+
 class TestEventLog:
     def test_events_merge_across_writers_sorted(self, tmp_path):
         disk = DiskArtifactCache(tmp_path)

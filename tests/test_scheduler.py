@@ -326,3 +326,120 @@ class TestJournalForkGuard:
         journal.close()
         # The parent-owned shard is uncorrupted: one record, loadable.
         assert set(RunJournal(tmp_path / "J.shard00").keys) == {"k1"}
+
+
+class TestEventLogRotation:
+    def _log(self, tmp_path, **kwargs):
+        from repro.harness.scheduler import EventLog
+        return EventLog(tmp_path / "J.events.jsonl", **kwargs)
+
+    def test_small_log_never_rotates(self, tmp_path):
+        from repro.harness.scheduler import event_log_segments
+        log = self._log(tmp_path)
+        log.record("lease_reclaimed", key="k")
+        log.close()
+        assert event_log_segments(tmp_path / "J.events.jsonl") == []
+        assert (tmp_path / "J.events.jsonl").exists()
+
+    def test_rotation_bounds_every_sealed_segment(self, tmp_path):
+        from repro.harness.scheduler import event_log_segments
+        log = self._log(tmp_path, max_bytes=256, max_segments=4)
+        for index in range(60):
+            log.record("lease_reclaimed", key=f"cell-{index:03d}")
+        log.close()
+        segments = event_log_segments(tmp_path / "J.events.jsonl")
+        assert len(segments) > 1
+        for segment in segments:  # sealed segments respect the bound
+            assert segment.stat().st_size <= 256 + 128
+
+    def test_reads_span_segments_in_order(self, tmp_path):
+        from repro.harness.scheduler import load_event_segments
+        log = self._log(tmp_path, max_bytes=256, max_segments=100)
+        for index in range(60):
+            log.record("lease_reclaimed", key=f"cell-{index:03d}")
+        log.close()
+        events = load_event_segments(tmp_path / "J.events.jsonl")
+        assert [e["key"] for e in events] == \
+            [f"cell-{i:03d}" for i in range(60)]
+
+    def test_compaction_drops_oldest_beyond_cap(self, tmp_path):
+        from repro.harness.scheduler import (event_log_segments,
+                                             load_event_segments)
+        log = self._log(tmp_path, max_bytes=256, max_segments=3)
+        for index in range(200):
+            log.record("lease_reclaimed", key=f"cell-{index:03d}")
+        log.close()
+        segments = event_log_segments(tmp_path / "J.events.jsonl")
+        assert len(segments) <= 3
+        events = load_event_segments(tmp_path / "J.events.jsonl")
+        keys = [e["key"] for e in events]
+        # the newest events always survive compaction, oldest go first
+        assert keys == sorted(keys)
+        assert keys[-1] == "cell-199"
+        assert len(keys) < 200
+
+    def test_load_recovery_events_spans_rotated_segments(self, tmp_path):
+        from repro.harness.scheduler import EventLog
+        paths = ShardPaths(tmp_path / "J", 1)
+        paths.ensure_dirs()
+        log = EventLog(paths.events_path, max_bytes=256, max_segments=100)
+        for index in range(40):
+            log.record("lease_reclaimed", key=f"cell-{index:03d}",
+                       reason="dead_pid")
+        log.close()
+        events = load_recovery_events(tmp_path / "J")
+        assert len(events) == 40
+        assert all(e["reason"] == "dead_pid" for e in events)
+
+
+WORKER_DRAIN_DRIVER = """\
+import sys, time
+from pathlib import Path
+from repro.graphs import powerlaw_cluster_graph
+from repro.harness import ExperimentConfig, config_fingerprint
+from repro.harness.scheduler import ShardPaths, _shard_worker_main
+from repro.noise import make_pair
+
+base = sys.argv[1]
+ShardPaths(base, 1).ensure_dirs()  # normally the supervisor's job
+config = ExperimentConfig(name="drain", algorithms=["isorank"],
+                          noise_levels=(0.0,), repetitions=1, seed=7,
+                          shards=1)
+graph = powerlaw_cluster_graph(40, 3, 0.3, seed=5)
+
+def stalling_factory(graph, noise_type, level, seed):
+    Path(base + ".ready").touch()
+    time.sleep(120)  # hold the lease until the parent SIGTERMs us
+    return make_pair(graph, noise_type, level, seed=seed)
+
+_shard_worker_main(0, base, config, {"pl": graph}, stalling_factory,
+                   config_fingerprint(config))
+"""
+
+
+class TestWorkerSigtermDrain:
+    def test_sigterm_releases_lease_and_tombstones_attempt(self, tmp_path):
+        """A drained worker must exit 0 with its lease released and the
+        burned attempt tombstoned — nothing left for stale reclaim."""
+        base = tmp_path / "J"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                                   if env.get("PYTHONPATH") else "")
+        worker = subprocess.Popen(
+            [sys.executable, "-c", WORKER_DRAIN_DRIVER, str(base)],
+            env=env, stderr=subprocess.PIPE, text=True)
+        try:
+            ready = Path(str(base) + ".ready")
+            deadline = time.time() + 60
+            while time.time() < deadline and not ready.exists():
+                time.sleep(0.05)
+            assert ready.exists(), "worker never claimed a cell"
+            worker.terminate()  # SIGTERM mid-cell, lease held
+            assert worker.wait(timeout=60) == 0, worker.stderr.read()
+        finally:
+            worker.kill()
+        paths = ShardPaths(base, 1)
+        assert list(paths.lease_dir.glob("*.lease")) == []
+        key = "pl|one-way|0.000000|0|isorank"
+        assert read_attempts(paths.lease_dir, key) == 1

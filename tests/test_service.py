@@ -1,0 +1,549 @@
+"""Unit and property tests for the alignment service front-end.
+
+Covers the ticket state machine (strict live API, lenient crash
+replay), the durable request queue (admission, claims, stale-lease
+reclaim), and the service itself: idempotent submission under
+concurrent races (hypothesis), backpressure, deadlines, cancellation,
+drain, and restart recovery.  The SIGKILL chaos scenario lives in
+``test_service_chaos.py``.
+"""
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ExperimentError
+from repro.graphs.generators import erdos_renyi_graph
+from repro.harness.results import RunRecord
+from repro.harness.runner import run_cell
+from repro.harness.scheduler import lease_path, try_acquire_lease
+from repro.noise import GraphPair, make_pair
+from repro.service import (
+    DEFAULT_MEASURES,
+    AlignmentRequest,
+    AlignmentService,
+    DurableRequestQueue,
+    QueueFull,
+    ServiceUnavailable,
+    TicketError,
+    TicketStore,
+    load_service_events,
+    read_health,
+    ticket_key,
+)
+
+G1 = erdos_renyi_graph(16, 0.3, seed=1)
+G2 = erdos_renyi_graph(16, 0.3, seed=2)
+
+
+def fast_record(request, measures=None):
+    return RunRecord(
+        algorithm=request.algorithm, dataset="service",
+        noise_type="service", noise_level=0.0, repetition=0,
+        assignment=request.assignment,
+        measures=measures or {"s3": 1.0},
+        similarity_time=0.0, assignment_time=0.0,
+    )
+
+
+def fast_runner(request, budget):
+    return fast_record(request)
+
+
+def request_for(seed=0, **overrides):
+    pair = make_pair(erdos_renyi_graph(14, 0.3, seed=seed),
+                     "one-way", 0.1, seed=seed)
+    options = dict(source=pair.source, target=pair.target,
+                   algorithm="isorank", seed=seed)
+    options.update(overrides)
+    return AlignmentRequest(**options)
+
+
+class TestTicketKey:
+    def test_deterministic_and_content_addressed(self):
+        a = ticket_key(G1.content_digest(), G2.content_digest(), "isorank")
+        b = ticket_key(G1.content_digest(), G2.content_digest(), "isorank")
+        assert a == b
+
+    def test_everything_that_changes_the_work_changes_the_key(self):
+        base = dict(params={"alpha": 0.5}, assignment="jv",
+                    measures=("s3",), seed=0)
+        key = ticket_key(G1.content_digest(), G2.content_digest(),
+                         "isorank", **base)
+        for mutation in (
+            dict(params={"alpha": 0.6}),
+            dict(assignment="greedy"),
+            dict(measures=("s3", "mnc")),
+            dict(seed=1),
+        ):
+            other = ticket_key(G1.content_digest(), G2.content_digest(),
+                               "isorank", **{**base, **mutation})
+            assert other != key, mutation
+        assert ticket_key(G2.content_digest(), G1.content_digest(),
+                          "isorank", **base) != key
+
+    def test_ground_truth_participates_when_supplied(self):
+        truth = np.arange(16, dtype=np.int64)
+        with_truth = ticket_key(G1.content_digest(), G2.content_digest(),
+                                "isorank",
+                                ground_truth_digest=truth.tobytes())
+        without = ticket_key(G1.content_digest(), G2.content_digest(),
+                             "isorank")
+        assert with_truth != without
+
+    def test_deadline_is_not_identity(self):
+        fast = request_for(0, deadline_seconds=1.0)
+        slow = request_for(0, deadline_seconds=None)
+        assert fast.key() == slow.key()
+
+
+class TestTicketStore:
+    def test_submit_is_idempotent(self, tmp_path):
+        store = TicketStore(tmp_path)
+        first, created = store.submit("k1", "isorank")
+        again, created_again = store.submit("k1", "isorank")
+        assert created and not created_again
+        assert first == again
+        assert len(store) == 1
+
+    def test_duplicate_submit_returns_current_state_unchanged(self, tmp_path):
+        store = TicketStore(tmp_path)
+        store.submit("k1", "isorank")
+        store.transition("k1", "leased")
+        store.transition("k1", "done")
+        ticket, created = store.submit("k1", "isorank")
+        assert not created and ticket.state == "done"
+
+    def test_illegal_transitions_raise(self, tmp_path):
+        store = TicketStore(tmp_path)
+        store.submit("k1", "isorank")
+        with pytest.raises(TicketError):
+            store.transition("k1", "done")  # pending -> done skips leased
+        store.transition("k1", "leased")
+        store.transition("k1", "done")
+        with pytest.raises(TicketError):
+            store.transition("k1", "pending")  # terminal is forever
+        with pytest.raises(TicketError):
+            store.transition("unknown", "leased")
+        with pytest.raises(TicketError):
+            store.transition("k1", "not-a-state")
+
+    def test_reclaim_edge_requeues(self, tmp_path):
+        store = TicketStore(tmp_path)
+        store.submit("k1", "isorank")
+        store.transition("k1", "leased", attempts=1)
+        ticket = store.transition("k1", "pending", attempts=1)
+        assert ticket.state == "pending" and ticket.attempts == 1
+
+    def test_two_stores_converge_across_refresh(self, tmp_path):
+        a = TicketStore(tmp_path)
+        b = TicketStore(tmp_path)
+        a.submit("k1", "isorank")
+        b.refresh()
+        assert b.get("k1") is not None
+        # b's view can transition only through its own ticket objects;
+        # simulate the server folding a's terminal entry.
+        a.transition("k1", "leased")
+        a.transition("k1", "failed", error="boom")
+        b.refresh()
+        assert b.get("k1").state == "failed"
+        assert b.get("k1").error == "boom"
+        a.close(), b.close()
+
+    def test_torn_tail_keeps_complete_entries(self, tmp_path):
+        store = TicketStore(tmp_path)
+        store.submit("k1", "isorank")
+        store.transition("k1", "leased")
+        store.close()
+        segment = next(tmp_path.glob("*.jsonl"))
+        with open(segment, "ab") as handle:
+            handle.write(b'{"key": "k1", "state": "done"')  # no newline
+        fresh = TicketStore(tmp_path)
+        assert fresh.get("k1").state == "leased"
+
+    def test_replay_materializes_ticket_from_transition_entry(self, tmp_path):
+        # A create entry lost to a torn tail must not drop the later,
+        # acknowledged transition on replay.
+        (tmp_path / "other-1.jsonl").write_text(
+            json.dumps({"key": "kX", "state": "done", "time": 5.0,
+                        "pid": 1, "host": "other", "seq": 1}) + "\n")
+        store = TicketStore(tmp_path)
+        assert store.get("kX").state == "done"
+
+    def test_terminal_sticky_whatever_replays_later(self, tmp_path):
+        entries = [
+            {"key": "k", "state": "pending", "time": 1.0, "seq": 1},
+            {"key": "k", "state": "leased", "time": 2.0, "seq": 2},
+            {"key": "k", "state": "done", "time": 3.0, "seq": 3},
+            {"key": "k", "state": "pending", "time": 4.0, "seq": 4},
+        ]
+        (tmp_path / "other-1.jsonl").write_text(
+            "".join(json.dumps(e) + "\n" for e in entries))
+        store = TicketStore(tmp_path)
+        assert store.get("k").state == "done"
+
+    def test_counts_zero_filled(self, tmp_path):
+        store = TicketStore(tmp_path)
+        counts = store.counts()
+        assert set(counts) == {"pending", "leased", "done", "failed",
+                               "expired", "cancelled"}
+        assert all(v == 0 for v in counts.values())
+
+
+class TestDurableRequestQueue:
+    def test_enqueue_round_trips_the_request(self, tmp_path):
+        queue = DurableRequestQueue(tmp_path)
+        request = request_for(3, params={"alpha": 0.7},
+                              deadline_seconds=9.0)
+        key, fresh = queue.enqueue(request)
+        assert fresh
+        loaded = queue.load_request(key)
+        assert loaded.algorithm == "isorank"
+        assert loaded.params == {"alpha": 0.7}
+        assert loaded.deadline_seconds == 9.0
+        assert loaded.source.content_digest() == \
+            request.source.content_digest()
+        assert loaded.key() == key
+
+    def test_backpressure_bounds_new_requests_only(self, tmp_path):
+        queue = DurableRequestQueue(tmp_path, max_depth=2)
+        queue.enqueue(request_for(0))
+        queue.enqueue(request_for(1))
+        with pytest.raises(QueueFull) as info:
+            queue.enqueue(request_for(2))
+        assert info.value.depth == 2 and info.value.max_depth == 2
+        # the rejected request left nothing behind
+        assert queue.depth() == 2
+        # a duplicate of an accepted request is re-accepted at full depth
+        _, fresh = queue.enqueue(request_for(0))
+        assert not fresh
+
+    def test_done_markers_free_depth(self, tmp_path):
+        queue = DurableRequestQueue(tmp_path, max_depth=1)
+        key, _ = queue.enqueue(request_for(0))
+        queue.mark_done(key)
+        assert queue.depth() == 0
+        queue.enqueue(request_for(1))  # admitted again
+
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        queue = DurableRequestQueue(tmp_path)
+        key, _ = queue.enqueue(request_for(0))
+        claim = queue.claim(key)
+        assert claim is not None
+        assert queue.claim(key) is None
+        assert queue.holder(key).pid == os.getpid()
+        queue.release(claim)
+        assert queue.claim(key) is not None
+
+    def test_reclaim_stale_recovers_dead_holder(self, tmp_path):
+        queue = DurableRequestQueue(tmp_path, lease_timeout_seconds=30.0)
+        key, _ = queue.enqueue(request_for(0))
+        claim = queue.claim(key)
+        # rewrite the lease as if its owner had died
+        import json as _json
+        lease = _json.loads(claim.read_text())
+        lease["pid"] = 2 ** 22 + 1234  # beyond pid_max: provably dead
+        claim.write_text(_json.dumps(lease))
+        reclaimed = queue.reclaim_stale()
+        assert reclaimed == [(key, 1, "dead_pid")]
+        assert queue.attempts(key) == 1
+        assert queue.claim(key) is not None  # claimable again
+
+    def test_missing_payload_is_reported_not_raised_at_scan(self, tmp_path):
+        queue = DurableRequestQueue(tmp_path)
+        with pytest.raises(ExperimentError):
+            queue.load_request("nope")
+
+    def test_pending_keys_oldest_first(self, tmp_path):
+        queue = DurableRequestQueue(tmp_path)
+        k0, _ = queue.enqueue(request_for(0))
+        time.sleep(0.02)
+        k1, _ = queue.enqueue(request_for(1))
+        assert queue.pending_keys() == [k0, k1]
+        queue.mark_done(k0)
+        assert queue.pending_keys() == [k1]
+
+
+class TestServiceLifecycle:
+    def test_submit_poll_result_round_trip(self, tmp_path):
+        svc = AlignmentService(tmp_path, workers=1, runner=fast_runner)
+        ticket = svc.submit_sync(request_for(0))
+        assert ticket.state == "pending"
+        assert svc.run_until_drained(max_seconds=30) == 1
+        assert svc.status_sync(ticket.key).state == "done"
+        record = svc.result_sync(ticket.key)
+        assert record.measures == {"s3": 1.0}
+        svc.close()
+
+    def test_real_runner_matches_serial_run_cell(self, tmp_path):
+        pair = make_pair(erdos_renyi_graph(18, 0.3, seed=4),
+                         "one-way", 0.1, seed=4)
+        svc = AlignmentService(tmp_path, workers=1)
+        ticket = svc.submit_sync(AlignmentRequest(
+            source=pair.source, target=pair.target, algorithm="isorank",
+            seed=4, ground_truth=pair.ground_truth))
+        svc.run_until_drained(max_seconds=120)
+        record = svc.result_sync(ticket.key)
+        reference = run_cell(
+            "isorank",
+            GraphPair(pair.source, pair.target, pair.ground_truth,
+                      noise_type="service", noise_level=0.0),
+            "service", 0, assignment="jv", measures=DEFAULT_MEASURES,
+            seed=4)
+        assert record.measures == reference.measures
+        assert record.failed == reference.failed
+        svc.close()
+
+    def test_duplicate_submit_returns_same_ticket_any_state(self, tmp_path):
+        svc = AlignmentService(tmp_path, workers=1, runner=fast_runner)
+        request = request_for(0)
+        first = svc.submit_sync(request)
+        assert svc.submit_sync(request).key == first.key
+        svc.run_until_drained(max_seconds=30)
+        after = svc.submit_sync(request)
+        assert after.key == first.key and after.state == "done"
+        # still exactly one durable request
+        assert len(svc.queue.accepted_keys()) == 1
+        svc.close()
+
+    def test_backpressure_rejects_with_retry_after(self, tmp_path):
+        svc = AlignmentService(tmp_path, max_depth=2, workers=1,
+                               runner=fast_runner)
+        accepted = [svc.submit_sync(request_for(s)) for s in range(2)]
+        with pytest.raises(ServiceUnavailable) as info:
+            svc.submit_sync(request_for(2))
+        assert info.value.reason == "queue_full"
+        assert info.value.retry_after_seconds > 0
+        # accepted tickets are never dropped by the rejection
+        svc.run_until_drained(max_seconds=30)
+        for ticket in accepted:
+            assert svc.status_sync(ticket.key).state == "done"
+        svc.close()
+
+    def test_draining_rejects_new_accepts_duplicates(self, tmp_path):
+        svc = AlignmentService(tmp_path, workers=1, runner=fast_runner)
+        ticket = svc.submit_sync(request_for(0))
+        svc.request_drain()
+        with pytest.raises(ServiceUnavailable) as info:
+            svc.submit_sync(request_for(1))
+        assert info.value.reason == "draining"
+        assert svc.submit_sync(request_for(0)).key == ticket.key
+        svc.close()
+
+    def test_cancel_only_pending(self, tmp_path):
+        svc = AlignmentService(tmp_path, workers=1, runner=fast_runner)
+        ticket = svc.submit_sync(request_for(0))
+        cancelled = svc.cancel_sync(ticket.key)
+        assert cancelled.state == "cancelled"
+        assert svc.queue.depth() == 0  # cancellation frees the backlog
+        assert svc.cancel_sync(ticket.key).state == "cancelled"  # idempotent
+        with pytest.raises(TicketError):
+            svc.result_sync(ticket.key)
+        svc.close()
+
+    def test_deadline_expires_queued_ticket(self, tmp_path):
+        svc = AlignmentService(tmp_path, workers=1, runner=fast_runner)
+        ticket = svc.submit_sync(request_for(0, deadline_seconds=0.001))
+        time.sleep(0.02)
+        svc.janitor_pass()
+        expired = svc.status_sync(ticket.key)
+        assert expired.state == "expired"
+        assert "deadline" in expired.error
+        assert svc.queue.depth() == 0
+        svc.close()
+
+    def test_default_deadline_applies(self, tmp_path):
+        svc = AlignmentService(tmp_path, workers=1, runner=fast_runner,
+                               default_deadline_seconds=123.0)
+        ticket = svc.submit_sync(request_for(0))
+        assert ticket.deadline_seconds == 123.0
+        svc.close()
+
+    def test_failed_computation_is_a_failed_ticket_with_result(self, tmp_path):
+        def failing_runner(request, budget):
+            record = fast_record(request)
+            from dataclasses import replace
+            return replace(record, failed=True,
+                           error="ValueError: synthetic failure",
+                           measures={})
+        svc = AlignmentService(tmp_path, workers=1, runner=failing_runner)
+        ticket = svc.submit_sync(request_for(0))
+        svc.run_until_drained(max_seconds=30)
+        final = svc.status_sync(ticket.key)
+        assert final.state == "failed"
+        assert "ValueError" in final.error
+        # the failed record is still the servable result, like sweep cells
+        assert svc.result_sync(ticket.key).failed
+        svc.close()
+
+    def test_result_recomputed_after_cache_eviction(self, tmp_path):
+        calls = {"n": 0}
+
+        def counting_runner(request, budget):
+            calls["n"] += 1
+            return fast_record(request)
+        svc = AlignmentService(tmp_path, workers=1, runner=counting_runner)
+        ticket = svc.submit_sync(request_for(0))
+        svc.run_until_drained(max_seconds=30)
+        assert calls["n"] == 1
+        svc.results.prune(max_bytes=0)  # evict everything
+        record = svc.result_sync(ticket.key)
+        assert record.measures == {"s3": 1.0}
+        assert calls["n"] == 2  # transparently recomputed
+        assert svc.result_sync(ticket.key).measures == {"s3": 1.0}
+        assert calls["n"] == 2  # ... and re-stored
+        svc.close()
+
+    def test_health_and_heartbeat_file(self, tmp_path):
+        svc = AlignmentService(tmp_path, workers=3, runner=fast_runner)
+        svc.submit_sync(request_for(0))
+        svc.write_heartbeat()
+        health = read_health(tmp_path)
+        assert health["status"] == "ok"
+        assert health["backlog"] == 1
+        assert health["workers"] == 3
+        assert health["tickets"]["pending"] == 1
+        svc.close()
+
+
+class TestServiceRecovery:
+    def test_restart_resumes_pending_backlog(self, tmp_path):
+        svc = AlignmentService(tmp_path, workers=1, runner=fast_runner)
+        keys = [svc.submit_sync(request_for(s)).key for s in range(3)]
+        svc.close()  # "crash" before serving anything
+        svc2 = AlignmentService(tmp_path, workers=1, runner=fast_runner)
+        assert svc2.store.counts()["pending"] == 3
+        svc2.run_until_drained(max_seconds=30)
+        for key in keys:
+            assert svc2.status_sync(key).state == "done"
+        svc2.close()
+
+    def test_orphan_request_without_ticket_is_adopted(self, tmp_path):
+        # Crash window: request payload durable, ticket create lost.
+        svc = AlignmentService(tmp_path, workers=1, runner=fast_runner)
+        request = request_for(0)
+        key, _ = svc.queue.enqueue(request)
+        svc.close()
+        svc2 = AlignmentService(tmp_path, workers=1, runner=fast_runner)
+        adopted = svc2.status_sync(key)
+        assert adopted.state == "pending"
+        assert adopted.algorithm == "isorank"
+        svc2.run_until_drained(max_seconds=30)
+        assert svc2.status_sync(key).state == "done"
+        svc2.close()
+
+    def test_done_marker_with_lost_transition_heals_to_done(self, tmp_path):
+        svc = AlignmentService(tmp_path, workers=1, runner=fast_runner)
+        ticket = svc.submit_sync(request_for(0))
+        svc.queue.mark_done(ticket.key)  # marker out, transition lost
+        svc.close()
+        svc2 = AlignmentService(tmp_path, workers=1, runner=fast_runner)
+        assert svc2.status_sync(ticket.key).state == "done"
+        svc2.close()
+
+    def test_leased_without_lease_file_requeues(self, tmp_path):
+        svc = AlignmentService(tmp_path, workers=1, runner=fast_runner)
+        ticket = svc.submit_sync(request_for(0))
+        svc.store.transition(ticket.key, "leased", attempts=1)
+        svc.close()  # crashed between lease release and terminal journal
+        svc2 = AlignmentService(tmp_path, workers=1, runner=fast_runner)
+        assert svc2.status_sync(ticket.key).state == "pending"
+        svc2.run_until_drained(max_seconds=30)
+        assert svc2.status_sync(ticket.key).state == "done"
+        svc2.close()
+
+    def test_stale_lease_from_dead_pid_is_reclaimed_live(self, tmp_path):
+        svc = AlignmentService(tmp_path, workers=1, runner=fast_runner,
+                               lease_timeout_seconds=30.0)
+        ticket = svc.submit_sync(request_for(0))
+        svc.store.transition(ticket.key, "leased", attempts=1)
+        claim = try_acquire_lease(svc.queue.lease_dir, ticket.key, attempt=1)
+        assert claim is not None
+        lease = json.loads(claim.read_text())
+        lease["pid"] = 2 ** 22 + 999
+        claim.write_text(json.dumps(lease))
+        svc.janitor_pass()
+        assert svc.status_sync(ticket.key).state == "pending"
+        events = load_service_events(tmp_path)
+        assert any(e["kind"] == "lease_reclaimed" for e in events)
+        svc.close()
+
+    def test_events_survive_restart(self, tmp_path):
+        svc = AlignmentService(tmp_path, workers=1, runner=fast_runner)
+        svc._record_event("probe", detail=1)
+        svc.close()
+        svc2 = AlignmentService(tmp_path, workers=1, runner=fast_runner)
+        svc2._record_event("probe", detail=2)
+        svc2.close()
+        probes = [e for e in load_service_events(tmp_path)
+                  if e["kind"] == "probe"]
+        assert [e["detail"] for e in probes] == [1, 2]
+
+
+class TestIdempotencyUnderRaces:
+    """Hypothesis: concurrent duplicate submissions of the same pair
+    converge to one ticket and one computation."""
+
+    @given(n_threads=st.integers(2, 5), seed=st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_concurrent_duplicate_submissions_converge(self, tmp_path_factory,
+                                                       n_threads, seed):
+        tmp_path = tmp_path_factory.mktemp("race")
+        executions = []
+        lock = threading.Lock()
+
+        def counting_runner(request, budget):
+            with lock:
+                executions.append(request.key())
+            return fast_record(request)
+
+        svc = AlignmentService(tmp_path, workers=1, runner=counting_runner)
+        request = request_for(seed)
+        barrier = threading.Barrier(n_threads)
+        tickets, errors = [], []
+
+        def submit():
+            try:
+                barrier.wait(timeout=10)
+                tickets.append(svc.submit_sync(request))
+            except Exception as exc:  # noqa: BLE001 — collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit)
+                   for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors
+        assert len(tickets) == n_threads
+        assert len({t.key for t in tickets}) == 1  # one ticket
+        assert len(svc.queue.accepted_keys()) == 1  # one durable request
+        svc.run_until_drained(max_seconds=30)
+        assert executions == [request.key()]  # exactly one computation
+        assert svc.status_sync(request.key()).state == "done"
+        svc.close()
+
+
+class TestServeAsync:
+    def test_serve_stop_when_idle_drains_batch(self, tmp_path):
+        import asyncio
+
+        async def scenario():
+            svc = AlignmentService(tmp_path, workers=2, runner=fast_runner)
+            tickets = [await svc.submit(request_for(s)) for s in range(4)]
+            summary = await asyncio.wait_for(
+                svc.serve(stop_when_idle=True), 60)
+            assert summary["tickets"]["done"] == 4
+            for ticket in tickets:
+                record = await svc.result(ticket.key)
+                assert record.measures == {"s3": 1.0}
+            assert svc.draining
+            svc.close()
+
+        asyncio.run(scenario())
