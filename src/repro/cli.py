@@ -30,6 +30,7 @@ import numpy as np
 from repro.algorithms import ALGORITHM_REGISTRY, get_algorithm, list_algorithms
 from repro.assignment.base import ASSIGNMENT_METHODS
 from repro.datasets import dataset_info, list_datasets, load_dataset
+from repro.exceptions import ExperimentError
 from repro.graphs import read_edgelist
 from repro.harness import ExperimentConfig, active_profile, run_experiment
 from repro.measures import evaluate_all
@@ -150,6 +151,50 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--report", default=None, metavar="PATH",
                      help="write a self-contained markdown report of the "
                           "sweep here")
+    exp.add_argument("--stats", action="store_true",
+                     help="attach paired permutation tests and bootstrap "
+                          "CIs to every algorithm comparison (printed, "
+                          "and added to --csv/--report); journaled into "
+                          "<journal>.stats when --journal is set")
+    exp.add_argument("--stats-resamples", type=int, default=2000,
+                     metavar="N",
+                     help="resamples per permutation test / bootstrap CI "
+                          "(default 2000)")
+
+    stats = sub.add_parser(
+        "stats",
+        help="compute paired permutation tests + bootstrap CIs for a "
+             "finished sweep journal")
+    stats.add_argument("--journal", required=True, metavar="PATH",
+                       help="run journal of the finished sweep (a sharded "
+                            "sweep's base path works too: its shard "
+                            "journals are merged)")
+    stats.add_argument("--resamples", type=int, default=2000, metavar="N")
+    stats.add_argument("--confidence", type=float, default=0.95)
+    stats.add_argument("--alpha", type=float, default=0.05,
+                       help="family-wise significance level for the Holm "
+                            "correction (default 0.05)")
+    stats.add_argument("--method", default="bca",
+                       choices=["percentile", "bca"],
+                       help="bootstrap CI flavor (default bca)")
+    stats.add_argument("--seed", type=int, default=0,
+                       help="base seed the per-comparison BLAKE2b seeds "
+                            "derive from")
+    stats.add_argument("--measures", nargs="+", default=None,
+                       help="restrict to these measures (default: every "
+                            "measure in the journal)")
+    stats.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="fan comparison units out to N processes; "
+                            "results are bit-identical to serial")
+    stats.add_argument("--stats-journal", default=None, metavar="PATH",
+                       help="journal for the statistics themselves "
+                            "(default: <journal>.stats); rerun with the "
+                            "same path to resume after a crash")
+    stats.add_argument("--csv", default=None, metavar="PATH",
+                       help="write the full comparison ledger here")
+    stats.add_argument("--report", default=None, metavar="PATH",
+                       help="write a significance-annotated markdown "
+                            "report here")
 
     serve = sub.add_parser(
         "serve",
@@ -301,6 +346,8 @@ def _cmd_experiment(args, out) -> int:
         cache=args.cache,
         shards=args.shards,
         cache_dir=args.cache_dir,
+        stats=args.stats,
+        stats_resamples=args.stats_resamples,
     )
     table = run_experiment(config, {args.dataset: graph},
                            journal=args.journal)
@@ -348,6 +395,13 @@ def _cmd_experiment(args, out) -> int:
                                        algorithm=name)
                     if not np.isnan(value):
                         out.write(f"  {name}: {stage} {value:.4f}s\n")
+    if args.stats and table.stats is not None:
+        out.write(f"statistics ({len(table.stats)} units, "
+                  f"{args.stats_resamples} resamples, Holm-corrected):\n")
+        out.write(table.stats.format_summary(max_lines=40) + "\n")
+        if args.journal:
+            out.write(f"stats journal: {args.journal}.stats "
+                      "(resumable like the sweep)\n")
     if args.report:
         from repro.harness.report import markdown_report
         with open(args.report, "w") as handle:
@@ -358,6 +412,79 @@ def _cmd_experiment(args, out) -> int:
     if args.csv:
         table.to_csv(args.csv)
         out.write(f"raw records written to {args.csv}\n")
+    return 0
+
+
+def _load_finished_table(journal_path, out):
+    """A ResultTable from a plain or sharded run journal (None on error)."""
+    from pathlib import Path
+
+    from repro.harness import ResultTable, RunJournal
+
+    path = Path(journal_path)
+    if path.exists():
+        journal = RunJournal(path)
+        try:
+            return ResultTable(journal.records)
+        finally:
+            journal.close()
+    from repro.harness.scheduler import ShardPaths, merge_shard_records
+    paths = ShardPaths(path, shards=1)
+    if paths.existing_shards():
+        return ResultTable(list(merge_shard_records(paths, None).values()))
+    out.write(f"error: no journal at {journal_path} (and no "
+              f"{journal_path}.shardNN shard journals either)\n")
+    return None
+
+
+def _cmd_stats(args, out) -> int:
+    from repro.stats import StatsConfig, compute_sweep_stats
+
+    table = _load_finished_table(args.journal, out)
+    if table is None:
+        return 2
+    if not len(table):
+        out.write(f"error: journal {args.journal} holds no records\n")
+        return 2
+    config = StatsConfig(
+        resamples=args.resamples,
+        confidence=args.confidence,
+        alpha=args.alpha,
+        bootstrap_method=args.method,
+        seed=args.seed,
+        measures=tuple(args.measures) if args.measures else None,
+        workers=args.workers,
+    )
+    stats_journal = args.stats_journal or (args.journal + ".stats")
+    try:
+        stats = compute_sweep_stats(table, config, journal=stats_journal)
+    except ExperimentError as exc:
+        out.write(f"error: {exc}\n")
+        if "fingerprint" in str(exc):
+            out.write("hint: the side-car was journaled under different "
+                      "stats settings (resamples/seed/measures/...); "
+                      "match them or point --stats-journal elsewhere\n")
+        return 2
+    out.write(f"{len(table)} records -> {len(stats.groups)} group CIs, "
+              f"{len(stats.comparisons)} paired comparisons "
+              f"({args.resamples} resamples, {args.method} bootstrap, "
+              f"Holm at α={args.alpha:g})\n")
+    out.write(f"stats journal: {stats_journal} (rerun with the same "
+              "path to resume)\n")
+    out.write(stats.format_summary() + "\n")
+    significant = [c for c in stats.comparisons if stats.is_significant(c)]
+    out.write(f"significant after Holm: {len(significant)} of "
+              f"{len(stats.comparisons)} comparisons\n")
+    if args.csv:
+        stats.to_csv(args.csv)
+        out.write(f"comparison ledger written to {args.csv}\n")
+    if args.report:
+        from repro.harness.report import markdown_report
+        with open(args.report, "w") as handle:
+            handle.write(markdown_report(
+                table, title=f"statistics for {args.journal}",
+                stats=stats))
+        out.write(f"annotated report written to {args.report}\n")
     return 0
 
 
@@ -497,6 +624,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_serve(args, out)
     if args.command == "cache":
         return _cmd_cache(args, out)
+    if args.command == "stats":
+        return _cmd_stats(args, out)
     return _cmd_experiment(args, out)
 
 

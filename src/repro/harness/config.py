@@ -131,6 +131,12 @@ class ExperimentConfig:
     shards: int = 1  # >1 runs lease-coordinated shard workers (scheduler)
     cache_dir: Optional[str] = None  # disk-backed cache (repro.cache_disk)
     lease_timeout_seconds: float = 30.0  # heartbeat age that orphans a cell
+    # Post-sweep statistics (repro.stats): permutation tests + bootstrap
+    # CIs over the finished table, attached as ``table.stats``.  Derived
+    # from the records, never changing them, so excluded from the
+    # journal fingerprint; the stats journal side-car carries its own.
+    stats: bool = False
+    stats_resamples: int = 2000
 
     def __post_init__(self):
         if not self.algorithms:
@@ -151,6 +157,10 @@ class ExperimentConfig:
             raise ExperimentError(
                 "shards and workers are alternative fan-out mechanisms; "
                 "set at most one of them above 1"
+            )
+        if self.stats_resamples < 1:
+            raise ExperimentError(
+                f"stats_resamples must be >= 1, got {self.stats_resamples}"
             )
         if self.lease_timeout_seconds <= 0:
             raise ExperimentError(

@@ -16,7 +16,12 @@ Format — one JSON object per line:
 * record lines ``{"kind": "record", "key": ..., "record": {...}}``
   where ``key`` identifies the (dataset × noise type × level ×
   repetition × algorithm) cell and ``record`` is
-  :meth:`RunRecord.to_dict` output.
+  :meth:`RunRecord.to_dict` output;
+* stats lines ``{"kind": "stats", "key": ..., "entry": {...}}`` —
+  journaled permutation/bootstrap units (:mod:`repro.stats`), written
+  by convention into a ``<path>.stats`` side-car journal so the raw
+  per-repetition records and the statistics derived from them resume
+  independently.
 
 A crash mid-append leaves a truncated last line; on open the journal
 drops it (the cell simply reruns) and truncates the file back to the
@@ -39,11 +44,17 @@ __all__ = ["canonical_noise_level", "cell_key", "config_fingerprint",
 
 # On-disk format version.  History:
 #   1 — initial header + record lines;
-#   2 — records may carry a serialized stage trace (``"trace"`` key).
-# Older journals load unchanged (v1 records simply have no trace);
-# journals written by a *newer* format are refused rather than
-# silently misread.
-_FORMAT_VERSION = 2
+#   2 — records may carry a serialized stage trace (``"trace"`` key);
+#   3 — journals may carry ``stats`` lines (journaled permutation/
+#       bootstrap units, see :mod:`repro.stats`); by convention these
+#       live in a ``<path>.stats`` side-car journal so run records and
+#       statistics stay independently resumable.
+# Older journals load unchanged (v1 records simply have no trace, v1/v2
+# journals simply have no stats); journals written by a *newer* format
+# are refused rather than silently misread — a v2 reader would drop v3
+# stats lines on the floor, which is exactly the silent misread the
+# version gate exists to prevent.
+_FORMAT_VERSION = 3
 
 
 def canonical_noise_level(noise_level: float) -> str:
@@ -134,6 +145,7 @@ class RunJournal:
         self.path = Path(path)
         self.fingerprint = fingerprint
         self._records: Dict[str, RunRecord] = {}
+        self._stats: Dict[str, Dict] = {}
         self._handle = None
         self._owner_pid = os.getpid()
         self._load()
@@ -161,6 +173,8 @@ class RunJournal:
             elif kind == "record":
                 record = RunRecord.from_dict(entry["record"])
                 self._records[entry["key"]] = record
+            elif kind == "stats":
+                self._stats[entry["key"]] = dict(entry["entry"])
         if good_bytes < len(raw):
             with open(self.path, "r+b") as handle:
                 handle.truncate(good_bytes)
@@ -229,6 +243,30 @@ class RunJournal:
         })
         self._records[key] = record
 
+    def append_stats(self, key: str, entry: Dict) -> None:
+        """Durably journal one statistics unit (idempotent per key).
+
+        ``entry`` is a JSON-serializable dict (a
+        :class:`repro.stats.comparisons.GroupStat`/``ComparisonStat``
+        ``to_dict`` payload).  Same single-writer contract as
+        :meth:`append`.
+        """
+        if os.getpid() != self._owner_pid:
+            raise ExperimentError(
+                f"journal {self.path} is owned by pid {self._owner_pid} "
+                f"but append_stats was called from pid {os.getpid()} — "
+                "stream stats entries back to the owning process instead"
+            )
+        if key in self._stats:
+            return
+        self._ensure_open()
+        self._write_line({
+            "kind": "stats",
+            "key": key,
+            "entry": entry,
+        })
+        self._stats[key] = dict(entry)
+
     def close(self) -> None:
         if self._handle is not None:
             self._handle.close()
@@ -252,6 +290,15 @@ class RunJournal:
     @property
     def records(self) -> List[RunRecord]:
         return list(self._records.values())
+
+    def get_stats(self, key: str) -> Optional[Dict]:
+        """A journaled statistics entry by key (``None`` if absent)."""
+        entry = self._stats.get(key)
+        return dict(entry) if entry is not None else None
+
+    @property
+    def stats_keys(self) -> List[str]:
+        return list(self._stats)
 
     def __iter__(self) -> Iterator[RunRecord]:
         return iter(self._records.values())

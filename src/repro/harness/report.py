@@ -2,7 +2,10 @@
 
 Turns a :class:`~repro.harness.results.ResultTable` into a self-contained
 markdown document: metadata, one measure grid per noise type, a terminal
-line chart for the headline measure, a stage breakdown (per-algorithm
+line chart for the headline measure, significance sections (bootstrap-CI
+grids plus Holm-corrected pairwise permutation matrices, when the sweep
+computed statistics — see :mod:`repro.stats`), a stage breakdown
+(per-algorithm
 mean wall time by pipeline stage, plus performance-counter totals, when
 the sweep was traced), a degradation summary (clean vs degraded vs
 failed cells per algorithm, with the diagnostic kinds behind each
@@ -81,6 +84,83 @@ def _trace_sections(table: ResultTable) -> list:
     return lines
 
 
+def _stats_sections(stats) -> List[str]:
+    """Significance-annotated comparison matrices, one per measure×noise.
+
+    For each (measure, noise type) family: a per-algorithm grid of
+    ``mean [ci_lo, ci_hi]`` bootstrap intervals across noise levels,
+    then the pairwise matrix — paired mean difference and sign-flip
+    permutation p-value per level, with ``*`` marking claims that
+    survive the Holm correction at the family-wise alpha.  Every A-vs-B
+    claim a reader could take from the measure grids above thus carries
+    its uncertainty right below them.
+    """
+    lines: List[str] = []
+    pct = stats.config.confidence * 100
+    for noise_type in stats.noise_types():
+        levels = stats.levels(noise_type)
+        header = ("| algorithm | "
+                  + " | ".join(f"{l:g}" for l in levels) + " |")
+        divider = "|" + "---|" * (len(levels) + 1)
+        for measure in stats.measures():
+            algorithms = [
+                name for name in stats.algorithms()
+                if any(stats.group(noise_type, l, measure, name)
+                       for l in levels)
+            ]
+            if not algorithms:
+                continue
+            lines.append(f"## significance — {measure} "
+                         f"({noise_type} noise)")
+            lines.append("")
+            lines.append(f"mean with {pct:g}% "
+                         f"{stats.config.bootstrap_method} bootstrap CI "
+                         f"over {stats.config.resamples} resamples:")
+            lines.append("")
+            lines.append(header)
+            lines.append(divider)
+            for name in algorithms:
+                cells = []
+                for level in levels:
+                    g = stats.group(noise_type, level, measure, name)
+                    cells.append("--" if g is None else
+                                 f"{g.mean:.3f} [{g.ci_lo:.3f}, "
+                                 f"{g.ci_hi:.3f}]")
+                lines.append(f"| {name} | " + " | ".join(cells) + " |")
+            lines.append("")
+            pairs = sorted({
+                (c.algorithm_a, c.algorithm_b)
+                for c in stats.comparisons
+                if c.noise_type == noise_type and c.measure == measure
+            })
+            if not pairs:
+                continue
+            lines.append("paired sign-flip permutation tests "
+                         "(Δ = row's first − second mean; "
+                         f"`*` = significant after Holm at "
+                         f"α={stats.config.alpha:g} within this "
+                         "measure × noise-type family):")
+            lines.append("")
+            lines.append("| pair | "
+                         + " | ".join(f"{l:g}" for l in levels) + " |")
+            lines.append(divider)
+            for first, second in pairs:
+                cells = []
+                for level in levels:
+                    c = stats.comparison(noise_type, level, measure,
+                                         first, second)
+                    if c is None:
+                        cells.append("--")
+                        continue
+                    mark = "\\*" if stats.is_significant(c) else ""
+                    cells.append(f"Δ{c.mean_diff:+.3f} "
+                                 f"p={c.p_holm:.4f}{mark}")
+                lines.append(f"| {first} vs {second} | "
+                             + " | ".join(cells) + " |")
+            lines.append("")
+    return lines
+
+
 def _recovery_section(events: Sequence[Dict[str, object]]) -> List[str]:
     """The "recovery events" section for a sharded run's event log.
 
@@ -126,6 +206,7 @@ def markdown_report(
     measures: Sequence[str] = ("accuracy", "s3", "mnc"),
     chart_measure: Optional[str] = "accuracy",
     recovery_events: Optional[Sequence[Dict[str, object]]] = None,
+    stats=None,
 ) -> str:
     """Render a full markdown report for a result table.
 
@@ -133,7 +214,14 @@ def markdown_report(
     :func:`~repro.harness.scheduler.load_recovery_events` output) adds a
     "recovery events" section; ``None`` or an empty list omits it, so
     serial reports are unchanged.
+
+    ``stats`` (a :class:`~repro.stats.comparisons.SweepStats`; defaults
+    to the table's own :attr:`~ResultTable.stats` when present) adds the
+    significance sections: per-algorithm bootstrap-CI grids and the
+    Holm-corrected pairwise permutation matrices, so every A-vs-B claim
+    in the report carries a p-value and a confidence interval.
     """
+    stats = stats if stats is not None else getattr(table, "stats", None)
     records = table.records
     lines = [f"# {title}", ""]
     datasets = sorted({r.dataset for r in records})
@@ -174,6 +262,9 @@ def markdown_report(
         lines.append(line_plot(series, x_label="noise"))
         lines.append("```")
         lines.append("")
+
+    if stats is not None:
+        lines.extend(_stats_sections(stats))
 
     lines.extend(_trace_sections(table))
 

@@ -147,10 +147,19 @@ class RunRecord:
 
 
 class ResultTable:
-    """Append-only table of :class:`RunRecord` with grouping helpers."""
+    """Append-only table of :class:`RunRecord` with grouping helpers.
+
+    The table keeps every record's **raw per-repetition values** — means
+    are computed on demand, never stored — which is what makes paired
+    statistics (:mod:`repro.stats`) possible from a finished journal.
+    ``stats`` holds the sweep's assembled
+    :class:`~repro.stats.comparisons.SweepStats` when the runner was
+    asked for them (``ExperimentConfig(stats=True)``), else ``None``.
+    """
 
     def __init__(self, records: Optional[Iterable[RunRecord]] = None):
         self._records: List[RunRecord] = list(records or [])
+        self.stats = None  # SweepStats, attached by the runner on demand
 
     def add(self, record: RunRecord) -> None:
         self._records.append(record)
@@ -215,6 +224,60 @@ class ResultTable:
                 group[key] = group.get(key, 0) + 1
         return counts
 
+    def values(self, measure: str, **conditions) -> List[float]:
+        """Raw per-repetition values of a measure over matching records.
+
+        Successful records only; NaN values (e.g. trace pseudo-measures
+        of untraced records) and records lacking the measure are
+        skipped.  This is the sample every statistic in
+        :mod:`repro.stats` resamples — never a pre-aggregated mean.
+        """
+        out: List[float] = []
+        for r in self.filter(**conditions).successful():
+            try:
+                value = r.value(measure)
+            except ExperimentError:
+                continue
+            if not np.isnan(value):
+                out.append(float(value))
+        return out
+
+    def paired_values(
+        self,
+        measure: str,
+        algorithm_a: str,
+        algorithm_b: str,
+        **conditions,
+    ) -> Tuple[List[Tuple], List[float], List[float]]:
+        """Per-instance paired values of two algorithms, instance-aligned.
+
+        Records pair on ``(dataset, noise_type, canonical noise level,
+        repetition)`` — both algorithms saw the *same* noisy instance,
+        which is what licenses a paired test.  Only instances where both
+        algorithms succeeded (with a finite value) enter; returns
+        ``(instance_keys, values_a, values_b)`` sorted by instance key.
+        """
+        def keyed(name):
+            out = {}
+            for r in self.filter(algorithm=name, **conditions).successful():
+                if measure not in r.measures:
+                    continue
+                value = float(r.measures[measure])
+                if np.isnan(value):
+                    continue
+                # 6-decimal spelling mirrors journal.canonical_noise_level
+                # (importing it here would be circular).
+                out[(r.dataset, r.noise_type,
+                     f"{r.noise_level:.6f}", r.repetition)] = value
+            return out
+
+        values_a = keyed(algorithm_a)
+        values_b = keyed(algorithm_b)
+        shared = sorted(set(values_a) & set(values_b))
+        return (shared,
+                [values_a[key] for key in shared],
+                [values_b[key] for key in shared])
+
     def mean(self, measure: str, **conditions) -> float:
         """Mean of a measure over matching successful records (NaN if none)."""
         values = [
@@ -253,7 +316,7 @@ class ResultTable:
         return sorted({name for r in self._records
                        for name in counter_totals(r.trace)})
 
-    def to_csv(self, path) -> None:
+    def to_csv(self, path, stats=None) -> None:
         """Dump all records (one measure column per distinct measure name).
 
         ``status`` distinguishes clean/degraded/failed cells and
@@ -264,7 +327,17 @@ class ResultTable:
         (``trace_<stage>_wall_s`` / ``_cpu_s`` / ``_peak_bytes``) and
         per-counter columns (``counter_<name>``) are appended; untraced
         records leave them empty.
+
+        ``stats`` (a :class:`~repro.stats.comparisons.SweepStats`, or
+        the table's own :attr:`stats` when omitted) appends, per
+        measure, ``pvalue_<m>`` / ``ci_lo_<m>`` / ``ci_hi_<m>``: the
+        bootstrap CI of this record's (algorithm × noise type × level)
+        group mean and the Holm-corrected permutation p-value of that
+        algorithm against the cell's leader (the runner-up when the
+        algorithm *is* the leader) — so every row carries the
+        uncertainty behind the ranking claim it participates in.
         """
+        stats = stats if stats is not None else self.stats
         measure_keys = sorted({k for r in self._records for k in r.measures})
         stages = self.trace_stages()
         counters = self.trace_counters()
@@ -276,10 +349,13 @@ class ResultTable:
                       for stage in stages
                       for suffix, _ in _TRACE_CSV_FIELDS]
         counter_cols = [f"counter_{name}" for name in counters]
+        stats_cols = ([f"{prefix}_{m}" for m in measure_keys
+                       for prefix in ("pvalue", "ci_lo", "ci_hi")]
+                      if stats is not None else [])
         with open(path, "w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(fixed + ["diagnostics"] + measure_keys
-                            + trace_cols + counter_cols)
+                            + trace_cols + counter_cols + stats_cols)
             for r in self._records:
                 row = [getattr(r, name) for name in fixed]
                 row.append("; ".join(_compact_diagnostic(d)
@@ -295,6 +371,13 @@ class ResultTable:
                 for name in counters:
                     row.append("" if totals is None
                                else totals.get(name, 0))
+                if stats is not None:
+                    for m in measure_keys:
+                        notes = stats.annotations(r.algorithm, r.noise_type,
+                                                  r.noise_level, m)
+                        row += [notes.get("pvalue", ""),
+                                notes.get("ci_lo", ""),
+                                notes.get("ci_hi", "")]
                 writer.writerow(row)
 
     def format_grid(

@@ -264,9 +264,14 @@ def run_experiment(
     ``config.cache_dir`` layers a crash-safe disk cache
     (:mod:`repro.cache_disk`) under every per-instance artifact cache,
     so eigendecompositions and other per-graph intermediates persist
-    across cells, processes, and reruns.
+    across cells, processes, and reruns.  ``config.stats`` computes the
+    sweep's permutation/bootstrap statistics (:mod:`repro.stats`) after
+    the last cell and attaches them as ``table.stats``, journaled into
+    a ``<journal>.stats`` side-car when the sweep was journaled.
     """
     factory = pair_factory or _default_pair_factory
+    journal_path = (journal.path if isinstance(journal, RunJournal)
+                    else Path(journal) if journal is not None else None)
     if int(getattr(config, "shards", 1)) > 1:
         from repro.harness.scheduler import run_sharded_experiment
         if journal is None:
@@ -275,19 +280,50 @@ def run_experiment(
                 "the shard journals, leases, and done markers all live "
                 "next to it"
             )
-        return run_sharded_experiment(config, graphs, factory, progress,
-                                      journal)
+        table = run_sharded_experiment(config, graphs, factory, progress,
+                                       journal)
+        return _attach_stats(config, table, journal_path)
     owns_journal = journal is not None and not isinstance(journal, RunJournal)
     if owns_journal:
         journal = RunJournal(journal, fingerprint=config_fingerprint(config))
     try:
         if int(getattr(config, "workers", 1)) > 1:
-            return _run_sweep_parallel(config, graphs, factory, progress,
-                                       journal)
-        return _run_sweep(config, graphs, factory, progress, journal)
+            table = _run_sweep_parallel(config, graphs, factory, progress,
+                                        journal)
+        else:
+            table = _run_sweep(config, graphs, factory, progress, journal)
     finally:
         if owns_journal:
             journal.close()
+    return _attach_stats(config, table, journal_path)
+
+
+def _attach_stats(config: ExperimentConfig, table: ResultTable,
+                  journal_path: Optional[Path]) -> ResultTable:
+    """Compute post-sweep statistics when the config asks for them.
+
+    Runs after the sweep (and after the run journal is closed): the
+    statistics are derived from the finished table, journaled into the
+    ``<journal>.stats`` side-car when the sweep was journaled, and fan
+    out across ``config.workers``/``config.shards`` processes — with
+    results bit-identical to a serial computation either way.
+    """
+    if not bool(getattr(config, "stats", False)):
+        return table
+    from repro.stats import (StatsConfig, compute_sweep_stats,
+                             stats_journal_path)
+    stats_config = StatsConfig(
+        resamples=int(getattr(config, "stats_resamples", 2000)),
+        seed=int(config.seed),
+        measures=tuple(config.measures),
+        workers=max(int(getattr(config, "workers", 1)),
+                    int(getattr(config, "shards", 1))),
+    )
+    stats_journal = (stats_journal_path(journal_path)
+                     if journal_path is not None else None)
+    table.stats = compute_sweep_stats(table, stats_config,
+                                      journal=stats_journal)
+    return table
 
 
 def _instance_cache(config):

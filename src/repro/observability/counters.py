@@ -47,6 +47,10 @@ KNOWN_COUNTERS = {
     "disk_cache_bytes": "payload bytes published to the disk cache",
     "disk_cache_quarantined":
         "corrupt/truncated/unreadable disk-cache entries moved aside",
+    "permutation_resamples":
+        "sign-flip assignments evaluated by paired permutation tests",
+    "bootstrap_resamples":
+        "bootstrap resamples drawn for confidence intervals",
 }
 
 

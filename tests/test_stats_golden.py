@@ -1,0 +1,347 @@
+"""Golden regression tests pinning the statistics layer's exact output.
+
+A fixed 3-algorithm, 2-level, 8-repetition result table (handcrafted
+values, fixed fake timings — no RNG, no clock) must always yield the
+same p-values, CI endpoints, Holm corrections, CSV bytes, report
+section, and CLI output.  Any change to seeding, resampling order,
+estimators, or formatting shows up here as a diff a reviewer must
+consciously accept.
+
+The fixture's story mirrors the paper's headline phenomenon: algorithm
+``alpha`` dominates at every noise level, while ``bravo``'s clean-graph
+lead over ``charlie`` vanishes at 5% noise — and the layer must refuse
+to call the vanished lead significant.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.cli import main
+from repro.harness.journal import RunJournal, cell_key
+from repro.harness.report import markdown_report
+from repro.harness.results import RunRecord, ResultTable
+from repro.stats import (
+    StatsConfig,
+    compute_sweep_stats,
+    comparison_seed,
+    group_seed,
+)
+
+# Handcrafted per-repetition wiggle (sums to zero) applied with a
+# per-algorithm phase, so paired differences vary across repetitions
+# without any random draw.
+WIGGLE = [0.004, -0.002, 0.001, -0.003, 0.002, -0.001, 0.003, -0.004]
+BASE = {"alpha": 0.92, "bravo": 0.84, "charlie": 0.80}
+DROP = {"alpha": 0.8, "bravo": 0.8, "charlie": 0.0}
+PHASE = {"alpha": 0, "bravo": 3, "charlie": 5}
+LEVELS = (0.0, 0.05)
+REPS = 8
+
+GOLDEN_CONFIG = StatsConfig(resamples=512, seed=17)
+
+GOLDEN_SUMMARY = """\
+ accuracy one-way 0: alpha vs bravo Δ=+0.0800 [+0.0763, +0.0834] p=0.0078 holm=0.0469* (n=8)
+ accuracy one-way 0: alpha vs charlie Δ=+0.1200 [+0.1159, +0.1230] p=0.0078 holm=0.0469* (n=8)
+ accuracy one-way 0: bravo vs charlie Δ=+0.0400 [+0.0386, +0.0414] p=0.0078 holm=0.0469* (n=8)
+       s3 one-way 0: alpha vs bravo Δ=+0.0720 [+0.0688, +0.0752] p=0.0078 holm=0.0469* (n=8)
+       s3 one-way 0: alpha vs charlie Δ=+0.1080 [+0.1044, +0.1111] p=0.0078 holm=0.0469* (n=8)
+       s3 one-way 0: bravo vs charlie Δ=+0.0360 [+0.0350, +0.0374] p=0.0078 holm=0.0469* (n=8)
+ accuracy one-way 0.05: alpha vs bravo Δ=+0.0800 [+0.0763, +0.0836] p=0.0078 holm=0.0469* (n=8)
+ accuracy one-way 0.05: alpha vs charlie Δ=+0.0800 [+0.0763, +0.0834] p=0.0078 holm=0.0469* (n=8)
+ accuracy one-way 0.05: bravo vs charlie Δ=+0.0000 [-0.0012, +0.0014] p=1.0000 holm=1.0000  (n=8)
+       s3 one-way 0.05: alpha vs bravo Δ=+0.0720 [+0.0689, +0.0755] p=0.0078 holm=0.0469* (n=8)
+       s3 one-way 0.05: alpha vs charlie Δ=+0.0720 [+0.0682, +0.0751] p=0.0078 holm=0.0469* (n=8)
+       s3 one-way 0.05: bravo vs charlie Δ=+0.0000 [-0.0010, +0.0015] p=1.0000 holm=1.0000  (n=8)"""
+
+GOLDEN_CSV = """\
+noise_type,noise_level,measure,algorithm_a,algorithm_b,n_pairs,mean_a,mean_b,mean_diff,ci_lo,ci_hi,p_value,p_holm,significant,exact,seed
+one-way,0.0,accuracy,alpha,bravo,8,0.92,0.84,0.08000000000000007,0.07625000000000007,0.08337500000000007,0.0078125,0.046875,True,True,1123913570
+one-way,0.0,accuracy,alpha,charlie,8,0.92,0.8,0.12,0.11591205905200919,0.123,0.0078125,0.046875,True,True,1613322148
+one-way,0.0,accuracy,bravo,charlie,8,0.84,0.8,0.039999999999999925,0.03862499999999992,0.041374999999999926,0.0078125,0.046875,True,True,2885970789
+one-way,0.0,s3,alpha,bravo,8,0.828,0.756,0.072,0.06881739186047543,0.07515000000000001,0.0078125,0.046875,True,True,1017175070
+one-way,0.0,s3,alpha,charlie,8,0.828,0.72,0.108,0.10440737869558916,0.11115,0.0078125,0.046875,True,True,2088599082
+one-way,0.0,s3,bravo,charlie,8,0.756,0.72,0.036000000000000004,0.034987500000000005,0.037359728544047566,0.0078125,0.046875,True,True,3647144165
+one-way,0.05,accuracy,alpha,bravo,8,0.88,0.8,0.07999999999999996,0.07628798364813627,0.08359026125136992,0.0078125,0.046875,True,True,1608613459
+one-way,0.05,accuracy,alpha,charlie,8,0.88,0.8,0.07999999999999996,0.07626197200106694,0.0834422389088646,0.0078125,0.046875,True,True,2229866092
+one-way,0.05,accuracy,bravo,charlie,8,0.8,0.8,0.0,-0.0011620539361721187,0.0013750000000000012,1.0,1.0,False,True,186211858
+one-way,0.05,s3,alpha,bravo,8,0.792,0.72,0.072,0.06891584556594153,0.07548749999999999,0.0078125,0.046875,True,True,1610680206
+one-way,0.05,s3,alpha,charlie,8,0.792,0.72,0.072,0.068175,0.07514999999999998,0.0078125,0.046875,True,True,194578776
+one-way,0.05,s3,bravo,charlie,8,0.72,0.72,0.0,-0.0010124999999999908,0.0014624999999999777,1.0,1.0,False,True,3828988502
+"""
+
+GOLDEN_REPORT_SECTION = """\
+## significance — accuracy (one-way noise)
+
+mean with 95% bca bootstrap CI over 512 resamples:
+
+| algorithm | 0 | 0.05 |
+|---|---|---|
+| alpha | 0.920 [0.918, 0.922] | 0.880 [0.878, 0.882] |
+| bravo | 0.840 [0.838, 0.842] | 0.800 [0.798, 0.802] |
+| charlie | 0.800 [0.798, 0.802] | 0.800 [0.798, 0.802] |
+
+paired sign-flip permutation tests (Δ = row's first − second mean; `*` = significant after Holm at α=0.05 within this measure × noise-type family):
+
+| pair | 0 | 0.05 |
+|---|---|---|
+| alpha vs bravo | Δ+0.080 p=0.0469\\* | Δ+0.080 p=0.0469\\* |
+| alpha vs charlie | Δ+0.120 p=0.0469\\* | Δ+0.080 p=0.0469\\* |
+| bravo vs charlie | Δ+0.040 p=0.0469\\* | Δ+0.000 p=1.0000 |
+"""
+
+
+def golden_records():
+    records = []
+    for name in sorted(BASE):
+        for level in LEVELS:
+            for rep in range(REPS):
+                value = (BASE[name] - DROP[name] * level
+                         + WIGGLE[(rep + PHASE[name]) % REPS])
+                records.append(RunRecord(
+                    algorithm=name, dataset="synthetic",
+                    noise_type="one-way", noise_level=level,
+                    repetition=rep, assignment="jv",
+                    measures={"accuracy": round(value, 6),
+                              "s3": round(value * 0.9, 6)},
+                    similarity_time=0.25, assignment_time=0.125,
+                ))
+    return records
+
+
+@pytest.fixture(scope="module")
+def golden_stats():
+    return compute_sweep_stats(ResultTable(golden_records()), GOLDEN_CONFIG)
+
+
+class TestGoldenValues:
+    def test_summary_pinned(self, golden_stats):
+        assert golden_stats.format_summary() == GOLDEN_SUMMARY
+
+    def test_csv_pinned(self, golden_stats, tmp_path):
+        path = tmp_path / "stats.csv"
+        golden_stats.to_csv(path)
+        assert path.read_text() == GOLDEN_CSV
+
+    def test_seeds_pinned(self, golden_stats):
+        # The derived seeds in the CSV above must match the derivation
+        # functions; a silent change to the seed scheme invalidates
+        # every journaled stats entry in the wild.
+        assert comparison_seed(17, "one-way", 0.0, "accuracy",
+                               "alpha", "bravo") == 1123913570
+        assert group_seed(17, "one-way", 0.05, "s3", "charlie") == \
+            golden_stats.group("one-way", 0.05, "s3", "charlie").seed
+
+    def test_vanished_lead_not_significant(self, golden_stats):
+        # bravo beats charlie on clean graphs but ties at 5% noise; the
+        # layer must call the first and refuse the second.
+        clean = golden_stats.comparison("one-way", 0.0, "accuracy",
+                                        "bravo", "charlie")
+        noisy = golden_stats.comparison("one-way", 0.05, "accuracy",
+                                        "bravo", "charlie")
+        assert golden_stats.is_significant(clean)
+        assert not golden_stats.is_significant(noisy)
+        assert noisy.p_value == 1.0
+
+    def test_holm_is_family_wide(self, golden_stats):
+        # 6 comparisons per (noise type, measure) family; the smallest
+        # exact p (2/256) is scaled by the 6-member family.
+        stat = golden_stats.comparison("one-way", 0.0, "accuracy",
+                                       "alpha", "bravo")
+        assert stat.p_value == pytest.approx(2 / 256)
+        assert stat.p_holm == pytest.approx(6 * 2 / 256)
+
+    def test_exact_enumeration_used(self, golden_stats):
+        assert all(c.exact for c in golden_stats.comparisons)
+        assert all(c.n_pairs == REPS for c in golden_stats.comparisons)
+
+
+class TestGoldenReport:
+    def test_significance_section_pinned(self, golden_stats):
+        table = ResultTable(golden_records())
+        report = markdown_report(table, stats=golden_stats)
+        assert GOLDEN_REPORT_SECTION in report
+        # Both measure families render their own section.
+        assert "## significance — s3 (one-way noise)" in report
+
+    def test_table_csv_annotated(self, golden_stats, tmp_path):
+        path = tmp_path / "table.csv"
+        table = ResultTable(golden_records())
+        table.to_csv(path, stats=golden_stats)
+        lines = path.read_text().splitlines()
+        header = lines[0].split(",")
+        for column in ("pvalue_accuracy", "ci_lo_accuracy",
+                       "ci_hi_accuracy", "pvalue_s3", "ci_lo_s3",
+                       "ci_hi_s3"):
+            assert column in header
+        first = dict(zip(header, lines[1].split(",")))
+        assert first["algorithm"] == "alpha"
+        assert first["pvalue_accuracy"] == "0.046875"
+        assert first["ci_lo_accuracy"] == "0.9181250000000001"
+        assert first["ci_hi_accuracy"] == "0.9216250000000001"
+
+    def test_attached_stats_used_by_default(self, golden_stats):
+        table = ResultTable(golden_records())
+        table.stats = golden_stats
+        assert GOLDEN_REPORT_SECTION in markdown_report(table)
+
+
+class TestGoldenCli:
+    def test_stats_subcommand_pinned(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        writer = RunJournal(journal)
+        for r in golden_records():
+            writer.append(cell_key(r.dataset, r.noise_type, r.noise_level,
+                                   r.repetition, r.algorithm), r)
+        writer.close()
+        out = io.StringIO()
+        code = main(["stats", "--journal", str(journal),
+                     "--resamples", "512", "--seed", "17"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert ("48 records -> 12 group CIs, 12 paired comparisons "
+                "(512 resamples, bca bootstrap, Holm at α=0.05)") in text
+        assert GOLDEN_SUMMARY in text
+        assert "significant after Holm: 10 of 12 comparisons" in text
+        # The side-car journal now holds every unit; a rerun resumes.
+        assert (tmp_path / "run.jsonl.stats").exists()
+        again = io.StringIO()
+        assert main(["stats", "--journal", str(journal),
+                     "--resamples", "512", "--seed", "17"],
+                    out=again) == 0
+        assert GOLDEN_SUMMARY in again.getvalue()
+
+    def test_missing_journal_errors(self, tmp_path):
+        out = io.StringIO()
+        code = main(["stats", "--journal", str(tmp_path / "nope.jsonl")],
+                    out=out)
+        assert code == 2
+        assert "no journal" in out.getvalue()
+
+
+class TestEdgeCases:
+    def test_result_dataclasses_serialize(self):
+        from repro.stats import bootstrap_ci, permutation_test
+        perm = permutation_test([0.1, 0.2, -0.1], resamples=8, seed=0)
+        assert perm.to_dict() == {
+            "statistic": perm.statistic, "p_value": perm.p_value,
+            "resamples": perm.resamples, "exact": perm.exact,
+        }
+        boot = bootstrap_ci([0.1, 0.2, 0.3], resamples=16, seed=0)
+        assert boot.to_dict()["method"] == "bca"
+        assert boot.to_dict()["low"] == boot.low
+
+    def test_summary_truncation(self, golden_stats):
+        summary = golden_stats.format_summary(max_lines=3)
+        assert summary.count("\n") == 3
+        assert summary.endswith("... 9 more comparisons")
+
+    def test_len_counts_all_units(self, golden_stats):
+        assert len(golden_stats) == 24  # 12 groups + 12 comparisons
+
+    def test_missing_cell_lookups(self, golden_stats):
+        assert golden_stats.leader("two-way", 0.0, "accuracy") is None
+        assert golden_stats.group("one-way", 0.9, "accuracy",
+                                  "alpha") is None
+        assert golden_stats.comparison("one-way", 0.0, "accuracy",
+                                       "alpha", "zeta") is None
+        assert golden_stats.annotations("alpha", "two-way", 0.0,
+                                        "accuracy") == {}
+
+    def test_sparse_cells_not_enumerated(self):
+        # An algorithm failing everywhere at one level contributes no
+        # group there, and a pair sharing fewer than min_pairs
+        # instances contributes no comparison — absence, not NaN.
+        records = [r for r in golden_records()
+                   if not (r.algorithm == "charlie"
+                           and r.noise_level == 0.05)]
+        records += [
+            RunRecord(algorithm="charlie", dataset="synthetic",
+                      noise_type="one-way", noise_level=0.05,
+                      repetition=rep, assignment="jv", measures={},
+                      similarity_time=0.25, assignment_time=0.125,
+                      failed=True, error="boom")
+            for rep in range(8)
+        ]
+        stats = compute_sweep_stats(ResultTable(records),
+                                    StatsConfig(resamples=64, seed=1))
+        assert stats.group("one-way", 0.05, "accuracy", "charlie") is None
+        assert stats.comparison("one-way", 0.05, "accuracy",
+                                "bravo", "charlie") is None
+        assert stats.group("one-way", 0.0, "accuracy",
+                           "charlie") is not None
+
+    def test_min_pairs_gate(self):
+        # With min_pairs above the repetition count, comparisons vanish
+        # but groups survive.
+        stats = compute_sweep_stats(
+            ResultTable(golden_records()),
+            StatsConfig(resamples=64, seed=1, min_pairs=9))
+        assert stats.comparisons == []
+        assert len(stats.groups) == 12
+
+    def test_serial_progress_fires_per_unit(self):
+        seen = []
+        compute_sweep_stats(ResultTable(golden_records()),
+                            StatsConfig(resamples=64, seed=1),
+                            progress=seen.append)
+        assert len(seen) == 24
+        assert len(set(seen)) == 24
+
+    def test_measure_filter(self):
+        stats = compute_sweep_stats(
+            ResultTable(golden_records()),
+            StatsConfig(resamples=64, seed=1, measures=("accuracy",)))
+        assert stats.measures() == ["accuracy"]
+        assert len(stats.groups) == 6
+
+
+class TestJournalCompatibility:
+    def _old_journal(self, path, version):
+        # A journal exactly as an old release wrote it: v1 records have
+        # no trace field, v2 records may carry one.
+        record = golden_records()[0].to_dict()
+        if version == 1:
+            record.pop("trace")
+        lines = [
+            {"kind": "header", "version": version, "fingerprint": None},
+            {"kind": "record",
+             "key": cell_key("synthetic", "one-way", 0.0, 0, "alpha"),
+             "record": record},
+        ]
+        path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_old_versions_still_load(self, tmp_path, version):
+        path = tmp_path / f"v{version}.jsonl"
+        self._old_journal(path, version)
+        journal = RunJournal(path)
+        try:
+            assert len(journal) == 1
+            record = journal.records[0]
+            assert record.algorithm == "alpha"
+            assert record.measures["accuracy"] == pytest.approx(0.924)
+            assert journal.stats_keys == []
+        finally:
+            journal.close()
+
+    def test_newer_version_refused(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        self._old_journal(path, 4)
+        with pytest.raises(ExperimentError, match="format version 4"):
+            RunJournal(path)
+
+    def test_stats_lines_roundtrip(self, tmp_path, golden_stats):
+        # Journaled units reload bit-identically and a resumed
+        # computation reuses them without recomputation.
+        table = ResultTable(golden_records())
+        path = tmp_path / "side.stats"
+        first = compute_sweep_stats(table, GOLDEN_CONFIG, journal=path)
+        recomputed = []
+        second = compute_sweep_stats(table, GOLDEN_CONFIG, journal=path,
+                                     progress=recomputed.append)
+        assert recomputed == []
+        assert first.format_summary() == second.format_summary() \
+            == golden_stats.format_summary()
