@@ -1,0 +1,197 @@
+"""Sketched spectral kernels: accuracy cost, speedup, and the scale gate.
+
+Not a paper artifact: this bench guards the contract of ``repro.sketch``
+(see docs/api.md, "Sketched kernels & sparse similarity").  Three layers:
+
+* ``test_sketch_accuracy_speedup`` (always on) compares exact and
+  sketched GRASP end to end on a mid-size graph: eigenvalue error,
+  alignment-accuracy delta, and wall-clock speedup, reported per stage.
+* ``test_sketch_scale_guarantee`` (``REPRO_SKETCH_SCALE=1``) aligns a
+  >=50k-node pair under a sketch policy and **asserts** from the trace
+  counters that zero dense n x n similarities were materialized above
+  the threshold (``dense_bypass == 0``) and the sparse similarity never
+  got densified on the assignment side (``assignment_densified == 0``).
+* ``test_sketch_memory_acceptance`` (``REPRO_SKETCH_SCALE=1``) is the
+  issue's acceptance run: a 100k-node alignment inside a budgeted child
+  capped at 4 GiB of address space — a single dense float64 similarity
+  at that size would need 80 GB, so merely finishing proves the
+  sparse-first path end to end.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.helpers import emit, paper_note
+from repro.graphs import powerlaw_cluster_graph
+from repro.harness import CellBudget, run_cell, run_cell_with_budget
+from repro.noise import make_pair
+from repro.observability import counter_totals
+from repro.sketch import SketchPolicy, sketching
+from repro.spectral import laplacian_eigenpairs
+
+_SCALE = os.environ.get("REPRO_SKETCH_SCALE") == "1"
+needs_scale = pytest.mark.skipif(
+    not _SCALE, reason="large-graph sketch gates run with REPRO_SKETCH_SCALE=1")
+
+
+def _community_graph(blocks, size, seed=7):
+    """Planted communities: a real spectral gap after ``blocks``
+    eigenvalues — the regime the sketched kernel is built for (on
+    gapless spectra, e.g. pure powerlaw graphs, the trailing
+    eigenvectors are ill-conditioned for *any* truncated method)."""
+    from repro.graphs import Graph
+    rng = np.random.default_rng(seed)
+    edges = []
+    off = 0
+    for _ in range(blocks):
+        for i in range(size):
+            for j in range(i + 1, size):
+                if rng.random() < 0.06:
+                    edges.append((off + i, off + j))
+        off += size
+    for _ in range(10 * blocks):
+        a, c = rng.integers(0, blocks, 2)
+        while a == c:
+            c = rng.integers(0, blocks)
+        edges.append((int(a * size + rng.integers(size)),
+                      int(c * size + rng.integers(size))))
+    return Graph(blocks * size, edges)
+
+
+def _run_accuracy(profile):
+    n = max(1200, profile.synthetic_nodes)
+    graph = _community_graph(blocks=12, size=n // 12, seed=7)
+    n = graph.num_nodes
+    pair = make_pair(graph, "one-way", 0.01, seed=7)
+    policy = SketchPolicy(threshold=600)
+
+    start = time.perf_counter()
+    vals_exact, vecs_exact = laplacian_eigenpairs(graph, k=10)
+    eig_exact_time = time.perf_counter() - start
+    with sketching(policy):
+        start = time.perf_counter()
+        vals_sketch, vecs_sketch = laplacian_eigenpairs(graph, k=10)
+        eig_sketch_time = time.perf_counter() - start
+    val_err = float(np.abs(vals_exact - vals_sketch).max())
+    cos = np.linalg.svd(np.linalg.qr(vecs_exact)[0].T
+                        @ np.linalg.qr(vecs_sketch)[0], compute_uv=False)
+
+    start = time.perf_counter()
+    exact = run_cell("grasp", pair, "pl", 0, assignment="sg",
+                     measures=("accuracy",), trace=True)
+    exact_time = time.perf_counter() - start
+    start = time.perf_counter()
+    sketched = run_cell("grasp", pair, "pl", 0, assignment="sg",
+                        measures=("accuracy",), trace=True, sketch=policy)
+    sketch_time = time.perf_counter() - start
+    assert not exact.failed and not sketched.failed
+    totals = counter_totals(sketched.trace)
+    # The sketched cell must actually take the sketched + sparse path...
+    assert totals.get("sketched_kernels", 0) >= 2
+    assert totals.get("similarity_topk", 0) > 0
+    # ...and never fall off it.
+    assert totals.get("dense_bypass", 0) == 0
+    assert totals.get("assignment_densified", 0) == 0
+    return {
+        "n": n,
+        "eig": (eig_exact_time, eig_sketch_time, val_err, float(cos.min())),
+        "cell": (exact_time, sketch_time,
+                 exact.measures["accuracy"], sketched.measures["accuracy"]),
+    }
+
+
+def test_sketch_accuracy_speedup(benchmark, profile, results_dir):
+    out = benchmark.pedantic(_run_accuracy, args=(profile,),
+                             rounds=1, iterations=1)
+    ee, es, verr, mincos = out["eig"]
+    ce, cs, acc_e, acc_s = out["cell"]
+    lines = [
+        f"planted-community graph (12 blocks), n={out['n']}, grasp k=10, "
+        "sketch threshold=600 (rsvd, top-10 sparse similarity)",
+        "",
+        "sketching is a memory play, not a speed play at this size: the",
+        "exact path is fast here but needs the dense n x n similarity",
+        "that the budget caps forbid at scale (see sketch_acceptance).",
+        "",
+        f"{'stage':>22s} {'exact[s]':>9s} {'sketch[s]':>10s} "
+        f"{'speedup':>8s} {'fidelity':>24s}",
+        f"{'eigenpairs (k=10)':>22s} {ee:>9.3f} {es:>10.3f} "
+        f"{ee / es if es > 0 else float('inf'):>7.1f}x "
+        f"{f'|dval|={verr:.1e} cos={mincos:.4f}':>24s}",
+        f"{'grasp cell (sg)':>22s} {ce:>9.3f} {cs:>10.3f} "
+        f"{ce / cs if cs > 0 else float('inf'):>7.1f}x "
+        f"{f'acc {acc_e:.3f} -> {acc_s:.3f}':>24s}",
+        "",
+        paper_note(
+            "harness-level scalability layer, not a paper artifact: the "
+            "paper runs every algorithm exact under a 3h/256GB budget; "
+            "sketching trades bounded spectral error for the memory "
+            "headroom those budgets assumed"
+        ),
+    ]
+    emit(results_dir, "sketch", "\n".join(lines))
+
+
+@needs_scale
+def test_sketch_scale_guarantee(results_dir):
+    """>=50k nodes: the trace counters prove no dense n x n was built."""
+    n = 65536
+    graph = powerlaw_cluster_graph(n, 3, 0.2, seed=11)
+    pair = make_pair(graph, "one-way", 0.005, seed=11)
+    start = time.perf_counter()
+    record = run_cell("grasp", pair, "pl", 0, assignment="sg",
+                      measures=("accuracy",), trace=True,
+                      sketch=SketchPolicy())
+    elapsed = time.perf_counter() - start
+    assert not record.failed, record.error
+    totals = counter_totals(record.trace)
+    assert totals.get("dense_bypass", 0) == 0
+    assert totals.get("assignment_densified", 0) == 0
+    assert totals.get("sketched_kernels", 0) >= 2
+    assert totals.get("similarity_topk", 0) > 0
+    lines = [
+        f"scale gate: grasp on n={n} powerlaw pair, sketch defaults",
+        f"wall time        {elapsed:10.1f} s",
+        f"accuracy         {record.measures['accuracy']:10.4f}",
+        f"dense_bypass     {totals.get('dense_bypass', 0):10d}  (must be 0)",
+        f"densified        {totals.get('assignment_densified', 0):10d}"
+        "  (must be 0)",
+        f"sketched_kernels {totals.get('sketched_kernels', 0):10d}",
+    ]
+    emit(results_dir, "sketch_scale", "\n".join(lines))
+
+
+@needs_scale
+def test_sketch_memory_acceptance(results_dir):
+    """100k-node alignment inside a 4 GiB address-space budget."""
+    n = 100_000
+    graph = powerlaw_cluster_graph(n, 3, 0.2, seed=13)
+    pair = make_pair(graph, "one-way", 0.005, seed=13)
+    budget = CellBudget(memory_bytes=4096 * 1024 * 1024)
+    start = time.perf_counter()
+    record = run_cell_with_budget(
+        "grasp", pair, "pl", 0, budget, assignment="sg",
+        measures=("accuracy",), seed=0,
+        algorithm_params={"k": 10, "q": 20}, trace=True,
+        sketch=SketchPolicy())
+    elapsed = time.perf_counter() - start
+    assert not record.failed, record.error
+    totals = counter_totals(record.trace)
+    assert totals.get("dense_bypass", 0) == 0
+    assert totals.get("assignment_densified", 0) == 0
+    lines = [
+        f"acceptance: grasp(k=10, q=20) on n={n} pair, "
+        "RLIMIT_AS = 4 GiB in the budget child",
+        f"wall time    {elapsed:10.1f} s",
+        f"accuracy     {record.measures['accuracy']:10.4f}",
+        f"dense_bypass {totals.get('dense_bypass', 0):10d}  (must be 0)",
+        "",
+        paper_note(
+            "a dense 100k x 100k float64 similarity alone would need "
+            "80 GB; finishing under 4 GiB proves the sparse-first path"
+        ),
+    ]
+    emit(results_dir, "sketch_acceptance", "\n".join(lines))

@@ -44,7 +44,8 @@ from repro.graphs.generators import SeedLike, as_rng
 from repro.graphs.graph import Graph
 from repro.graphs.operations import is_connected, largest_connected_component
 from repro.numerics import check_similarity
-from repro.observability import capture_trace, span, tracing_enabled
+from repro.observability import add_counter, capture_trace, span, tracing_enabled
+from repro.sketch import sketch_policy_for
 
 __all__ = [
     "AlignmentResult",
@@ -203,6 +204,25 @@ class AlignmentAlgorithm:
 
                 with span("watchdog"):
                     sim = check_similarity(sim, stage="watchdog")
+
+                # Above an active sketch policy's threshold every
+                # similarity should arrive sparse; a dense one means the
+                # algorithm has no sparse-first path (or bypassed it) and
+                # just paid the O(n^2) allocation this policy exists to
+                # avoid.  Audit it — counter plus a warning diagnostic —
+                # rather than failing the run.
+                if (not sparse.issparse(sim)
+                        and sketch_policy_for(run_source.num_nodes,
+                                              run_target.num_nodes)
+                        is not None):
+                    add_counter("dense_bypass")
+                    record_diagnostic(
+                        "similarity", "dense_bypass",
+                        f"{self.info.name} produced a dense "
+                        f"{run_source.num_nodes}x{run_target.num_nodes} "
+                        "similarity above the sketch threshold",
+                        fallback_used="",
+                    )
 
                 start = time.perf_counter()
                 with span("assignment"):

@@ -17,9 +17,16 @@ from repro.assignment.greedy import (
     sort_greedy,
 )
 from repro.assignment.jv import jonker_volgenant
-from repro.assignment.sparse import sparse_max_weight_matching
+from repro.assignment.sparse import (
+    sparse_max_weight_matching,
+    sparse_nearest_neighbor,
+    sparse_nearest_neighbor_one_to_one,
+    sparse_sort_greedy,
+)
 from repro.diagnostics import record_diagnostic
 from repro.exceptions import AssignmentError
+from repro.observability import add_counter
+from repro.sketch import sketch_policy_for
 
 __all__ = ["ASSIGNMENT_METHODS", "extract_alignment"]
 
@@ -31,8 +38,13 @@ def extract_alignment(similarity, method: str = "jv") -> np.ndarray:
 
     ``similarity`` may be dense or SciPy-sparse; higher values mean more
     similar.  The result maps each source row to a target column (-1 when
-    unmatched).  ``"mwm"`` honors sparsity (absent entries are ineligible);
-    every other method densifies sparse input.
+    unmatched).  ``"mwm"`` honors sparsity (absent entries are ineligible).
+    For the other methods a sparse input is densified — unless an active
+    sketch policy (:mod:`repro.sketch`) covers the problem size, in which
+    case candidate-restricted sparse extractors run instead (``"jv"``
+    routes to the exact sparse matcher, whose full-matching optimum
+    coincides with JV's on the candidate set).  Each densification of a
+    sparse input bumps the ``assignment_densified`` trace counter.
 
     When the exact JV solver reports an infeasible problem on an otherwise
     valid (finite) matrix, the SortGreedy back-end is used instead and a
@@ -48,6 +60,17 @@ def extract_alignment(similarity, method: str = "jv") -> np.ndarray:
     if method == "mwm":
         return sparse_max_weight_matching(similarity)
     if _sparse.issparse(similarity):
+        if sketch_policy_for(*similarity.shape) is not None:
+            # Sparse-first path: never materialize the dense n x n array
+            # above the sketch threshold.
+            if method == "nn":
+                return sparse_nearest_neighbor(similarity)
+            if method == "nn-1to1":
+                return sparse_nearest_neighbor_one_to_one(similarity)
+            if method == "sg":
+                return sparse_sort_greedy(similarity)
+            return sparse_max_weight_matching(similarity)  # jv, exact
+        add_counter("assignment_densified")
         similarity = similarity.toarray()
     if method == "nn":
         return nearest_neighbor(similarity)

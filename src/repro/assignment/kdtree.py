@@ -6,7 +6,9 @@ best-first k-NN search; the test suite validates it against SciPy's cKDTree.
 For high-dimensional embeddings a k-d tree degrades toward linear scan, so
 :meth:`KDTree.query` transparently falls back to a vectorized brute-force
 path when the dimensionality makes the tree pointless — the same trade-off
-the original REGAL implementation makes.
+the original REGAL implementation makes — and likewise on very large
+databases, where the interpreter cost of the per-query descent loses to
+a blocked, memory-bounded BLAS scan.
 """
 
 from __future__ import annotations
@@ -22,6 +24,12 @@ __all__ = ["KDTree"]
 
 # Above this dimensionality a kd-tree visits nearly every leaf anyway.
 _BRUTE_FORCE_DIM = 30
+
+# Above this many database points the pure-Python best-first descent
+# loses to the blocked BLAS scan: per-query tree cost is milliseconds of
+# interpreter time, while the vectorized path amortizes to microseconds
+# per query and stays memory-bounded by its block size.
+_BRUTE_FORCE_POINTS = 8192
 
 
 class _Node:
@@ -55,7 +63,8 @@ class KDTree:
         self._points = pts
         self._leaf_size = max(int(leaf_size), 1)
         self._root: Optional[_Node] = None
-        if pts.shape[0] and pts.shape[1] <= _BRUTE_FORCE_DIM:
+        if (pts.shape[0] and pts.shape[1] <= _BRUTE_FORCE_DIM
+                and pts.shape[0] <= _BRUTE_FORCE_POINTS):
             self._root = self._build(np.arange(pts.shape[0]), depth=0)
 
     # ------------------------------------------------------------------

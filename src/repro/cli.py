@@ -38,6 +38,44 @@ from repro.measures import evaluate_all
 __all__ = ["main", "build_parser"]
 
 
+def _add_sketch_arguments(parser: argparse.ArgumentParser) -> None:
+    """Sketched-kernel knobs, shared by ``align`` and ``experiment``."""
+    from repro.sketch import SKETCH_METHODS, SketchPolicy
+
+    parser.add_argument("--sketch", action="store_true",
+                        help="above --sketch-threshold nodes, use "
+                             "randomized (sketched) spectral/embedding "
+                             "kernels and sparse top-k similarity; below "
+                             "it results are bit-identical to an exact "
+                             "run")
+    parser.add_argument("--sketch-threshold", type=int,
+                        default=SketchPolicy.threshold, metavar="N",
+                        help="graph size above which sketching applies "
+                             f"(default {SketchPolicy.threshold})")
+    parser.add_argument("--sketch-rank", type=int, default=0, metavar="R",
+                        help="sketch rank (default 0 = each consumer's "
+                             "natural rank)")
+    parser.add_argument("--sketch-method", default="rsvd",
+                        choices=list(SKETCH_METHODS),
+                        help="randomized SVD (default) or Nyström "
+                             "landmarks for explicit kernels")
+    parser.add_argument("--similarity-topk", type=int, default=10,
+                        metavar="K",
+                        help="candidates kept per node by the sparse "
+                             "similarity stage (default 10)")
+
+
+def _sketch_policy_from_args(args):
+    """The args' :class:`~repro.sketch.SketchPolicy`, or ``None``."""
+    if not getattr(args, "sketch", False):
+        return None
+    from repro.sketch import SketchPolicy
+    return SketchPolicy(threshold=args.sketch_threshold,
+                        rank=args.sketch_rank,
+                        topk=args.similarity_topk,
+                        method=args.sketch_method)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -68,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     align.add_argument("--output", default=None,
                        help="write 'source target' mapping lines here "
                             "(default: stdout)")
+    _add_sketch_arguments(align)
 
     tune = sub.add_parser("tune", help="grid-search one hyperparameter")
     tune.add_argument("--dataset", required=True, choices=list_datasets())
@@ -160,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="resamples per permutation test / bootstrap CI "
                           "(default 2000)")
+    _add_sketch_arguments(exp)
 
     stats = sub.add_parser(
         "stats",
@@ -279,13 +319,20 @@ def _cmd_datasets(args, out) -> int:
 
 
 def _cmd_align(args, out) -> int:
+    from contextlib import ExitStack
+
     from repro.numerics import numerics_policy
+    from repro.sketch import sketching
 
     source = read_edgelist(args.source)
     target = read_edgelist(args.target)
     algorithm = get_algorithm(args.method)
     policy = "strict" if args.strict_numerics else "sanitize"
-    with numerics_policy(policy):
+    sketch = _sketch_policy_from_args(args)
+    with ExitStack() as stack:
+        stack.enter_context(numerics_policy(policy))
+        if sketch is not None:
+            stack.enter_context(sketching(sketch))
         result = algorithm.align(source, target, assignment=args.assignment,
                                  seed=args.seed)
     for diagnostic in result.diagnostics:
@@ -348,6 +395,11 @@ def _cmd_experiment(args, out) -> int:
         cache_dir=args.cache_dir,
         stats=args.stats,
         stats_resamples=args.stats_resamples,
+        sketch=args.sketch,
+        sketch_threshold=args.sketch_threshold,
+        sketch_rank=args.sketch_rank,
+        sketch_method=args.sketch_method,
+        similarity_topk=args.similarity_topk,
     )
     table = run_experiment(config, {args.dataset: graph},
                            journal=args.journal)

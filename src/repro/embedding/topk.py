@@ -14,6 +14,7 @@ from scipy import sparse
 
 from repro.assignment.kdtree import KDTree
 from repro.exceptions import AlgorithmError
+from repro.observability import add_counter
 
 __all__ = ["topk_similarity"]
 
@@ -22,12 +23,18 @@ def topk_similarity(
     source_embeddings: np.ndarray,
     target_embeddings: np.ndarray,
     k: int = 10,
+    kernel: str = "exp",
 ) -> sparse.csr_matrix:
     """Sparse similarity keeping each source row's ``k`` best targets.
 
-    Similarity is the embedding kernel of REGAL's Eq. 10,
-    ``exp(-||y_u - y_v||^2)``; targets are found with the k-d tree (which
-    falls back to vectorized exact search in high dimensions).
+    ``kernel="exp"`` scores candidates with REGAL's Eq. 10 kernel,
+    ``exp(-||y_u - y_v||^2)``; ``kernel="neg"`` stores ``-||y_u -
+    y_v||^2`` instead, preserving the objective of algorithms (GRASP)
+    whose dense similarity is the negative squared distance — and
+    avoiding the underflow-to-zero the exp kernel hits at large
+    distances.  Targets are found with the k-d tree (which falls back to
+    vectorized exact search in high dimensions).  The per-row candidate
+    budget is recorded on the ``similarity_topk`` trace counter.
     """
     src = np.asarray(source_embeddings, dtype=np.float64)
     tgt = np.asarray(target_embeddings, dtype=np.float64)
@@ -38,11 +45,17 @@ def topk_similarity(
         )
     if k < 1:
         raise AlgorithmError(f"k must be >= 1, got {k}")
+    if kernel not in ("exp", "neg"):
+        raise AlgorithmError(f"kernel must be 'exp' or 'neg', got {kernel!r}")
     k = min(k, tgt.shape[0])
+    add_counter("similarity_topk", k)
 
     tree = KDTree(tgt)
     dists, indices = tree.query(src, k=k)
-    values = np.exp(-(dists ** 2))
+    if kernel == "exp":
+        values = np.exp(-(dists ** 2))
+    else:
+        values = -(dists ** 2)
     rows = np.repeat(np.arange(src.shape[0]), k)
     mat = sparse.coo_matrix(
         (values.ravel(), (rows, indices.ravel())),

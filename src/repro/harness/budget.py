@@ -100,7 +100,7 @@ def _apply_memory_limit(memory_bytes: int) -> None:
 
 def _child(connection, algorithm_name, pair, assignment, measures, seed,
            algorithm_params, track_memory, memory_bytes, strict_numerics,
-           trace, cache=False):
+           trace, cache=False, sketch=None):
     """Child-process body: apply limits, run the cell, ship the record.
 
     The pipe carries a tagged stream: ``("diagnostic", dict)`` and
@@ -145,6 +145,7 @@ def _child(connection, algorithm_name, pair, assignment, measures, seed,
                 assignment=assignment, measures=measures, seed=seed,
                 track_memory=track_memory, algorithm_params=algorithm_params,
                 strict_numerics=strict_numerics, trace=trace, cache=cache,
+                sketch=sketch,
             )
         connection.send(("record", record))
     except BaseException as exc:  # never let the child die silently
@@ -227,6 +228,7 @@ def run_cell_with_budget(
     strict_numerics: bool = False,
     trace: bool = False,
     cache: bool = False,
+    sketch=None,
 ) -> RunRecord:
     """Run one cell in a child process under a :class:`CellBudget`.
 
@@ -238,7 +240,8 @@ def run_cell_with_budget(
     indefinitely; only the rlimit (and abnormal death) can fail it.
     ``strict_numerics`` is applied inside the child (the numerics policy
     is per-process state and does not cross the fork boundary otherwise);
-    so is ``trace``, which additionally makes the failed timeout /
+    so are ``sketch`` (the :class:`~repro.sketch.SketchPolicy` scope) and
+    ``trace``, which additionally makes the failed timeout /
     dead-child records carry a *partial* trace — the root spans the child
     flushed before it was killed — plus every streamed diagnostic.
     """
@@ -249,7 +252,7 @@ def run_cell_with_budget(
         target=_child,
         args=(child_conn, algorithm_name, pair, assignment, tuple(measures),
               seed, algorithm_params, track_memory, budget.memory_bytes,
-              strict_numerics, trace, cache),
+              strict_numerics, trace, cache, sketch),
     )
     process.start()
     child_conn.close()

@@ -40,6 +40,7 @@ from repro.harness.results import ResultTable, RunRecord
 from repro.harness.retry import run_with_retry
 from repro.measures import evaluate_all
 from repro.noise import GraphPair, make_pair
+from repro.sketch import SketchPolicy, sketching
 
 __all__ = ["cell_seed", "run_on_pair", "run_cell", "run_experiment"]
 
@@ -125,6 +126,7 @@ def run_cell(
     strict_numerics: bool = False,
     trace: bool = False,
     cache: bool = False,
+    sketch: Optional[SketchPolicy] = None,
 ) -> RunRecord:
     """One (algorithm × instance × repetition) cell as a :class:`RunRecord`.
 
@@ -152,11 +154,18 @@ def run_cell(
     per *instance* so all algorithms of a cell share artifacts, and a
     fork-based budget child inherits the parent's warm scope — it is
     reused instead of opening a colder nested one.
+
+    ``sketch`` (a :class:`~repro.sketch.SketchPolicy`) opens a sketching
+    scope around the cell: above the policy threshold the spectral and
+    embedding substrates switch to randomized kernels and sparse top-k
+    similarity; below it the cell is bit-identical to an exact run.
     """
     policy = "strict" if strict_numerics else "sanitize"
     with ExitStack() as stack:
         events = stack.enter_context(capture_diagnostics())
         stack.enter_context(numerics_policy(policy))
+        if sketch is not None:
+            stack.enter_context(sketching(sketch))
         if cache:
             stack.enter_context(caching(True))
             if active_cache() is None:
@@ -546,6 +555,8 @@ def _execute_cell(config: ExperimentConfig, name: str, pair: GraphPair,
     strict = bool(getattr(config, "strict_numerics", False))
     trace = bool(getattr(config, "trace", False))
     cache = bool(getattr(config, "cache", False))
+    sketch = (config.sketch_policy()
+              if hasattr(config, "sketch_policy") else None)
 
     def attempt(_attempt_number: int) -> RunRecord:
         if config.budget is not None:
@@ -560,6 +571,7 @@ def _execute_cell(config: ExperimentConfig, name: str, pair: GraphPair,
                 strict_numerics=strict,
                 trace=trace,
                 cache=cache,
+                sketch=sketch,
             )
         return run_cell(
             name, pair, dataset, rep,
@@ -571,6 +583,7 @@ def _execute_cell(config: ExperimentConfig, name: str, pair: GraphPair,
             strict_numerics=strict,
             trace=trace,
             cache=cache,
+            sketch=sketch,
         )
 
     if config.retry_policy is not None:

@@ -51,6 +51,15 @@ KNOWN_COUNTERS = {
         "sign-flip assignments evaluated by paired permutation tests",
     "bootstrap_resamples":
         "bootstrap resamples drawn for confidence intervals",
+    "sketched_kernels":
+        "spectral/embedding bases computed via randomized sketches",
+    "sketch_rank": "total rank of the sketched bases computed",
+    "nystrom_landmarks": "landmark columns sampled by Nyström sketches",
+    "similarity_topk": "per-row candidate budget of sparse top-k similarity",
+    "assignment_densified":
+        "sparse similarity matrices densified by an assignment back-end",
+    "dense_bypass":
+        "dense n x n similarities materialized above the sketch threshold",
 }
 
 

@@ -16,6 +16,12 @@ from repro.spectral.netlsd import (
     netlsd_distance,
     netlsd_signature,
 )
+from repro.spectral.sketch import (
+    nystrom_eigenpairs,
+    randomized_eigh,
+    randomized_svd,
+    sketch_seed,
+)
 
 __all__ = [
     "laplacian_eigenpairs",
@@ -24,4 +30,8 @@ __all__ = [
     "netlsd_signature",
     "netlsd_distance",
     "default_timescales",
+    "randomized_svd",
+    "randomized_eigh",
+    "nystrom_eigenpairs",
+    "sketch_seed",
 ]

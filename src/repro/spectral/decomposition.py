@@ -23,20 +23,59 @@ from repro.exceptions import AlgorithmError
 from repro.observability import add_counter
 from repro.graphs.graph import Graph
 from repro.graphs.matrices import normalized_laplacian
+from repro.sketch import sketch_policy_for
+from repro.spectral.sketch import (
+    nystrom_eigenpairs,
+    randomized_eigh,
+    sketch_seed,
+)
 
 __all__ = ["laplacian_eigenpairs", "fix_signs", "heat_kernel_diagonals"]
 
 # Below this size a dense solve is faster and more robust than Lanczos.
 _DENSE_CUTOFF = 600
 
+# Entries within this relative distance of a column's peak magnitude are
+# treated as tied when fixing signs (see fix_signs).
+_TIE_RTOL = 1e-12
+
+# Floors on the sketch parameters for the *spectral* consumer.  The
+# companion kernel 2I - L has a nearly flat top spectrum (its dominant
+# eigenvalues sit just under 2 while the bulk sits near 1), so the range
+# finder needs more subspace iterations than the policy's general-purpose
+# default to separate them — and unlike the NetMF passes, a Laplacian
+# matvec is a cheap sparse product, so the extra passes are nearly free.
+_SPECTRAL_MIN_POWER_ITERS = 8
+_SPECTRAL_MIN_OVERSAMPLING = 16
+
+# Floor on the Ritz-space width.  Benchmark-graph spectra cluster near
+# the bottom (ring and powerlaw families have no gap at small k), so a
+# Rayleigh-Ritz projection only k wide cannot separate the k-th vector
+# from its near-degenerate neighbours — a 128-wide space recovers
+# alignment-accuracy parity with the exact solver at per-column cost of
+# one sparse matvec.  Clamped for graphs barely above the dense cutoff.
+_SPECTRAL_MIN_RANK = 128
+
 
 def fix_signs(eigenvectors: np.ndarray) -> np.ndarray:
     """Flip eigenvector signs so the largest-magnitude entry is positive.
 
-    Operates column-wise and returns a new array.
+    Operates column-wise and returns a new array.  When several entries
+    tie for the largest magnitude (exactly, or within a relative
+    ``1e-12`` — the jitter different BLAS builds introduce), the tie is
+    broken deterministically: the *lowest-index* near-peak entry decides
+    the sign, and a zero there counts as positive.  Without the
+    tolerance, two builds producing ``|v_i|`` and ``|v_j|`` swapped by
+    one ulp would gauge the same eigenvector oppositely.
     """
     vecs = eigenvectors.copy()
-    idx = np.argmax(np.abs(vecs), axis=0)
+    if vecs.size == 0:
+        return vecs
+    mags = np.abs(vecs)
+    peak = mags.max(axis=0)
+    # First index whose magnitude reaches the near-peak band: boolean
+    # argmax returns the lowest True, i.e. the lowest tied index.
+    idx = np.argmax(mags >= peak[np.newaxis, :] * (1.0 - _TIE_RTOL), axis=0)
     signs = np.sign(vecs[idx, np.arange(vecs.shape[1])])
     signs[signs == 0] = 1.0
     return vecs * signs[np.newaxis, :]
@@ -57,6 +96,53 @@ def laplacian_eigenpairs(graph: Graph, k: int | None = None) -> Tuple[np.ndarray
     # address the same cache entry.
     effective_k = None if (k is None or k >= n) else int(k)
 
+    # Sketching applies only to truncated spectra above both the policy
+    # threshold and the dense cutoff; the sketch parameters enter the
+    # cache key so exact and sketched entries can never collide (the
+    # exact key stays exactly as before, preserving old entries).
+    policy = (sketch_policy_for(n) if effective_k is not None
+              and n > _DENSE_CUTOFF else None)
+    params: dict = {"k": effective_k}
+    if policy is not None:
+        rank = max(policy.effective_rank(effective_k),
+                   min(_SPECTRAL_MIN_RANK, n // 4))
+        # The key records the *effective* parameters (after the spectral
+        # floors), so it describes exactly what the producer computes.
+        params["sketch"] = {
+            "method": policy.method,
+            "rank": rank,
+            "oversampling": max(int(policy.oversampling),
+                                _SPECTRAL_MIN_OVERSAMPLING),
+            "power_iters": max(int(policy.power_iters),
+                               _SPECTRAL_MIN_POWER_ITERS),
+        }
+
+    def produce_sketched() -> Tuple[np.ndarray, np.ndarray]:
+        add_counter("eigensolver_calls")
+        add_counter("sketched_kernels")
+        add_counter("sketch_rank", params["sketch"]["rank"])
+        lap = normalized_laplacian(graph).tocsr()
+        rng = np.random.default_rng(sketch_seed(
+            graph.content_digest(), artifact="laplacian_eigenpairs",
+            **{key: params["sketch"][key] for key in sorted(params["sketch"])},
+            k=effective_k,
+        ))
+        sketch_rank = params["sketch"]["rank"]
+        # Sketch the PSD companion K = 2I - L: its *largest* eigenpairs
+        # are L's smallest, with eigenvalue map λ_L = 2 - λ_K.
+        if policy.method == "nystrom":
+            kernel = (2.0 * sparse.identity(n, format="csr") - lap)
+            k_vals, k_vecs = nystrom_eigenpairs(kernel, rank=sketch_rank,
+                                                rng=rng)
+        else:
+            k_vals, k_vecs = randomized_eigh(
+                lambda block: 2.0 * block - lap @ block, n, sketch_rank,
+                oversampling=params["sketch"]["oversampling"],
+                power_iters=params["sketch"]["power_iters"], rng=rng)
+        vals = 2.0 - k_vals  # descending λ_K -> ascending λ_L
+        order = np.argsort(vals)[:effective_k]
+        return vals[order], fix_signs(k_vecs[:, order])
+
     def produce() -> Tuple[np.ndarray, np.ndarray]:
         # Counted inside the producer: a cache hit is *not* an
         # eigendecomposition, and the counter is the proof of that.
@@ -71,10 +157,14 @@ def laplacian_eigenpairs(graph: Graph, k: int | None = None) -> Tuple[np.ndarray
             # sigma=0 shift-invert targets the smallest eigenvalues reliably.
             try:
                 vals, vecs = eigsh(lap, k=effective_k, sigma=-1e-6, which="LM")
-            except ArpackError as exc:
-                # Lanczos breakdown / no convergence: fall back to dense.
-                # Only ARPACK's own failures are absorbed — a shape error or
-                # any other bug still propagates instead of being masked.
+            except (ArpackError, RuntimeError, np.linalg.LinAlgError) as exc:
+                # Lanczos breakdown / no convergence, or a singular
+                # shift-invert factorization (splu raises RuntimeError or
+                # LinAlgError on e.g. isolated-node graphs): fall back to
+                # dense.  A plain ValueError — a shape error or any other
+                # caller bug — still propagates instead of being masked
+                # (LinAlgError subclasses ValueError, so it must be named
+                # explicitly here without catching its parent).
                 record_diagnostic(
                     "spectral", "eigsh_failure",
                     f"sparse eigsh failed on n={n}, k={effective_k} "
@@ -88,8 +178,10 @@ def laplacian_eigenpairs(graph: Graph, k: int | None = None) -> Tuple[np.ndarray
             vals, vecs = vals[order], vecs[:, order]
         return vals, fix_signs(vecs)
 
-    return cached_artifact(graph, "laplacian_eigenpairs", produce,
-                           params={"k": effective_k})
+    return cached_artifact(
+        graph, "laplacian_eigenpairs",
+        produce_sketched if policy is not None else produce,
+        params=params)
 
 
 def heat_kernel_diagonals(

@@ -1,0 +1,203 @@
+"""Randomized low-rank decompositions (Halko, Martinsson & Tropp 2011).
+
+Two sketches back the scaled-up spectral path:
+
+* :func:`randomized_svd` / :func:`randomized_eigh` — Gaussian range
+  finder with power iterations.  The operator is consumed only through
+  block products (``matmat``), so callers can stream implicitly-defined
+  matrices (the blockwise NetMF log-PMI matrix) without materializing
+  them.
+* :func:`nystrom_eigenpairs` — the landmark-column approximation
+  ``K ≈ C W⁻¹ Cᵀ`` for explicitly sparse PSD kernels.
+
+The smallest Laplacian eigenpairs are reached through the PSD companion
+kernel ``K = 2I - L`` (the normalized Laplacian's spectrum lies in
+``[0, 2]``): the *largest* eigenpairs of ``K`` are the *smallest* of
+``L`` with ``λ_L = 2 - λ_K``, which is what lets a largest-eigenvalue
+sketch serve a smallest-eigenvalue consumer without shift-invert
+factorizations.
+
+Every sketch draws its Gaussian probes from a generator seeded by
+:func:`sketch_seed` — a digest of the graph content plus the sketch
+parameters — so sketched artifacts are pure functions of their cache
+key, exactly like the exact ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Optional, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import AlgorithmError
+from repro.observability import add_counter
+
+__all__ = [
+    "sketch_seed",
+    "randomized_range_finder",
+    "randomized_svd",
+    "randomized_eigh",
+    "nystrom_eigenpairs",
+]
+
+MatMat = Callable[[np.ndarray], np.ndarray]
+
+
+def sketch_seed(digest: bytes, **params) -> int:
+    """Deterministic 32-bit seed from a graph digest and sketch params.
+
+    Producers behind :func:`repro.cache.cached_artifact` must be pure, so
+    the probe RNG cannot come from ambient state: two processes sketching
+    the same graph with the same parameters must draw identical probes.
+    """
+    payload = bytes(digest) + b"|" + "|".join(
+        f"{key}={params[key]!r}" for key in sorted(params)
+    ).encode("utf-8")
+    raw = hashlib.blake2b(payload, digest_size=4).digest()
+    return int.from_bytes(raw, "big")
+
+
+def _as_matmat(operator: Union[np.ndarray, sparse.spmatrix, MatMat]) -> MatMat:
+    if callable(operator) and not sparse.issparse(operator):
+        return operator
+    return lambda block: operator @ block
+
+
+def randomized_range_finder(
+    matmat: MatMat,
+    n: int,
+    size: int,
+    power_iters: int,
+    rng: np.random.Generator,
+    rmatmat: Optional[MatMat] = None,
+) -> np.ndarray:
+    """Orthonormal ``(m, size)`` basis approximating the operator's range.
+
+    ``matmat`` maps ``(n, q)`` blocks to ``(m, q)``; ``rmatmat`` is the
+    adjoint (defaults to ``matmat``, correct for symmetric operators).
+    Each power iteration re-orthonormalizes with a QR factorization to
+    stop the probe block collapsing onto the dominant singular vector.
+    """
+    rmatmat = rmatmat if rmatmat is not None else matmat
+    probes = rng.standard_normal((n, size))
+    basis, _ = np.linalg.qr(matmat(probes))
+    for _ in range(power_iters):
+        basis, _ = np.linalg.qr(rmatmat(basis))
+        basis, _ = np.linalg.qr(matmat(basis))
+    return basis
+
+
+def randomized_svd(
+    operator: Union[np.ndarray, sparse.spmatrix, MatMat],
+    shape: Tuple[int, int],
+    rank: int,
+    oversampling: int = 8,
+    power_iters: int = 2,
+    rng: Optional[np.random.Generator] = None,
+    rmatmat: Optional[MatMat] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Truncated SVD ``(U, s, Vt)`` of an ``(m, n)`` operator via sketching.
+
+    ``operator`` may be an array, a sparse matrix, or a ``matmat``
+    callable (then ``rmatmat`` must be its adjoint unless symmetric).
+    The sketch width is ``rank + oversampling`` clipped to ``min(m, n)``;
+    exactly ``rank`` components are returned.
+    """
+    m, n = int(shape[0]), int(shape[1])
+    if rank < 1:
+        raise AlgorithmError(f"sketch rank must be >= 1, got {rank}")
+    rank = min(rank, m, n)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    matmat = _as_matmat(operator)
+    if rmatmat is None:
+        if callable(operator) and not sparse.issparse(operator):
+            raise AlgorithmError(
+                "randomized_svd over a matmat callable needs an explicit "
+                "rmatmat (pass matmat itself for symmetric operators)")
+        rmatmat = _as_matmat(operator.T)
+    size = min(rank + int(oversampling), m, n)
+    basis = randomized_range_finder(matmat, n, size, power_iters, rng,
+                                    rmatmat=rmatmat)
+    # B = Qᵀ M, computed through the adjoint: B = (Mᵀ Q)ᵀ, shape (size, n).
+    small = rmatmat(basis).T
+    u_small, svals, vt = np.linalg.svd(small, full_matrices=False)
+    u = basis @ u_small
+    return u[:, :rank], svals[:rank], vt[:rank]
+
+
+def randomized_eigh(
+    operator: Union[np.ndarray, sparse.spmatrix, MatMat],
+    n: int,
+    rank: int,
+    oversampling: int = 8,
+    power_iters: int = 2,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Top-``rank`` eigenpairs of a symmetric PSD ``(n, n)`` operator.
+
+    Rayleigh–Ritz on the sketched range: project onto the orthonormal
+    basis ``Q``, solve the small dense problem ``Qᵀ M Q``, and lift the
+    eigenvectors back.  Returns eigenvalues in **descending** order.
+    """
+    if rank < 1:
+        raise AlgorithmError(f"sketch rank must be >= 1, got {rank}")
+    rank = min(rank, n)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    matmat = _as_matmat(operator)
+    size = min(rank + int(oversampling), n)
+    basis = randomized_range_finder(matmat, n, size, power_iters, rng)
+    small = basis.T @ matmat(basis)
+    small = (small + small.T) / 2.0  # re-symmetrize float jitter
+    vals, vecs = np.linalg.eigh(small)
+    order = np.argsort(vals)[::-1][:rank]
+    return vals[order], basis @ vecs[:, order]
+
+
+def nystrom_eigenpairs(
+    kernel: Union[np.ndarray, sparse.spmatrix],
+    rank: int,
+    landmarks: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    rcond: float = 1e-10,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Top-``rank`` eigenpairs of a PSD kernel via Nyström landmarks.
+
+    Samples ``landmarks`` columns ``C = K[:, idx]`` uniformly without
+    replacement, forms ``W = K[idx][:, idx]``, and eigendecomposes the
+    factorization ``K ≈ (C W^{-1/2})(C W^{-1/2})ᵀ`` through an SVD of
+    ``C W^{-1/2}``.  Eigenvalues return in **descending** order with
+    orthonormal eigenvectors.  ``landmarks`` defaults to ``4*rank + 32``
+    (clipped to ``n``); near-null landmark directions below ``rcond``
+    times the top one are dropped rather than inverted.
+    """
+    n = kernel.shape[0]
+    if kernel.shape[0] != kernel.shape[1]:
+        raise AlgorithmError(
+            f"Nyström needs a square kernel, got shape {kernel.shape}")
+    if rank < 1:
+        raise AlgorithmError(f"sketch rank must be >= 1, got {rank}")
+    rank = min(rank, n)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    count = min(n, int(landmarks) if landmarks else 4 * rank + 32)
+    idx = np.sort(rng.choice(n, size=count, replace=False))
+
+    if sparse.issparse(kernel):
+        columns = np.asarray(kernel.tocsc()[:, idx].todense())
+    else:
+        columns = np.asarray(kernel)[:, idx]
+    add_counter("nystrom_landmarks", count)
+    w = columns[idx]  # = K[idx][:, idx]: the columns already follow idx
+    w = (w + w.T) / 2.0
+    w_vals, w_vecs = np.linalg.eigh(w)
+    keep = w_vals > rcond * max(float(w_vals.max()), 1e-300)
+    if not np.any(keep):
+        raise AlgorithmError(
+            "Nyström landmark block is numerically null; the kernel "
+            "carries no signal at these landmarks")
+    inv_sqrt = w_vecs[:, keep] * (w_vals[keep] ** -0.5)[np.newaxis, :]
+    mapped = columns @ inv_sqrt  # (n, kept); K ≈ mapped mappedᵀ
+    q, svals, _vt = np.linalg.svd(mapped, full_matrices=False)
+    rank = min(rank, svals.shape[0])
+    return (svals[:rank] ** 2), q[:, :rank]

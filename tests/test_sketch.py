@@ -1,0 +1,489 @@
+"""Sketched kernels and sparse-first similarity: the neutrality suite.
+
+Three contracts are pinned here:
+
+* the randomized decompositions are *accurate* where low-rank structure
+  exists (machine precision on decaying spectra, tight subspace angles
+  on spectral-gap graphs) and *deterministic* given the same seed;
+* below the policy threshold, a sketch-enabled run is **bit-identical**
+  to an exact one — serial or parallel, align() or run_experiment();
+* above the threshold, the embedding algorithms go sparse end to end,
+  with the provenance counters (``sketched_kernels``, ``sketch_rank``,
+  ``similarity_topk``, ``dense_bypass``, ``assignment_densified``)
+  proving which path ran.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import AlgorithmError, ExperimentError
+from repro.graphs import Graph, powerlaw_cluster_graph
+from repro.sketch import (
+    SketchPolicy,
+    active_sketch_policy,
+    sketch_policy_for,
+    sketching,
+)
+from repro.spectral import (
+    laplacian_eigenpairs,
+    nystrom_eigenpairs,
+    randomized_eigh,
+    randomized_svd,
+    sketch_seed,
+)
+
+
+def _block_graph(blocks=6, size=150, seed=7):
+    """Communities joined by few edges: ``blocks`` small eigenvalues
+    separated from the bulk — the regime where sketching the companion
+    kernel recovers the exact subspace."""
+    rng = np.random.default_rng(seed)
+    edges = []
+    off = 0
+    for _ in range(blocks):
+        for i in range(size):
+            for j in range(i + 1, size):
+                if rng.random() < 0.08:
+                    edges.append((off + i, off + j))
+        off += size
+    for _ in range(10 * blocks):
+        a, c = rng.integers(0, blocks, 2)
+        while a == c:
+            c = rng.integers(0, blocks)
+        edges.append((int(a * size + rng.integers(size)),
+                      int(c * size + rng.integers(size))))
+    return Graph(blocks * size, edges)
+
+
+def _decaying_psd(n=300, ratio=0.6, seed=0):
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    vals = 2.0 * ratio ** np.arange(n)
+    return (q * vals) @ q.T, vals, q
+
+
+def _subspace_cosines(a, b):
+    qa, _ = np.linalg.qr(a)
+    qb, _ = np.linalg.qr(b)
+    return np.linalg.svd(qa.T @ qb, compute_uv=False)
+
+
+class TestSketchPolicy:
+    def test_defaults_validate(self):
+        policy = SketchPolicy()
+        assert policy.threshold == 4096
+        assert policy.method == "rsvd"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"threshold": 0},
+        {"rank": -1},
+        {"oversampling": 0},
+        {"power_iters": -1},
+        {"topk": 0},
+        {"method": "exact"},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ExperimentError):
+            SketchPolicy(**kwargs)
+
+    def test_applies_only_above_threshold(self):
+        policy = SketchPolicy(threshold=100)
+        assert not policy.applies_to(100)
+        assert policy.applies_to(101)
+        assert policy.applies_to(50, 101)
+        assert not policy.applies_to()
+
+    def test_effective_rank_never_below_consumer_default(self):
+        assert SketchPolicy(rank=0).effective_rank(20) == 20
+        assert SketchPolicy(rank=64).effective_rank(20) == 64
+        assert SketchPolicy(rank=8).effective_rank(20) == 20
+
+    def test_scope_nesting_and_shadowing(self):
+        assert active_sketch_policy() is None
+        outer = SketchPolicy(threshold=10)
+        with sketching(outer):
+            assert active_sketch_policy() is outer
+            with sketching(None):  # explicit opt-out shadows the outer
+                assert active_sketch_policy() is None
+                assert sketch_policy_for(10 ** 9) is None
+            assert active_sketch_policy() is outer
+        assert active_sketch_policy() is None
+
+    def test_policy_for_asks_scope_and_size_together(self):
+        assert sketch_policy_for(10 ** 9) is None  # no scope open
+        with sketching(SketchPolicy(threshold=100)):
+            assert sketch_policy_for(50) is None
+            assert sketch_policy_for(101) is not None
+            assert sketch_policy_for(50, 101) is not None
+
+
+class TestSketchSeed:
+    def test_deterministic(self):
+        assert (sketch_seed(b"graph", k=4, rank=8)
+                == sketch_seed(b"graph", rank=8, k=4))
+
+    def test_sensitive_to_digest_and_params(self):
+        base = sketch_seed(b"graph", k=4)
+        assert sketch_seed(b"other", k=4) != base
+        assert sketch_seed(b"graph", k=5) != base
+
+
+class TestRandomizedDecompositions:
+    def test_rsvd_exact_on_decaying_spectrum(self):
+        m, vals, _ = _decaying_psd()
+        u, s, vt = randomized_svd(m, m.shape, 8,
+                                  rng=np.random.default_rng(1))
+        assert np.allclose(s, vals[:8], atol=1e-10)
+        assert np.allclose(u @ np.diag(s) @ vt,
+                           (u * vals[:8]) @ vt, atol=1e-10)
+
+    def test_eigh_exact_on_decaying_spectrum(self):
+        m, vals, q = _decaying_psd()
+        got_vals, got_vecs = randomized_eigh(m, m.shape[0], 8,
+                                             rng=np.random.default_rng(1))
+        assert np.allclose(got_vals, vals[:8], atol=1e-10)
+        assert _subspace_cosines(q[:, :8], got_vecs).min() > 1 - 1e-9
+
+    def test_nystrom_exact_on_decaying_spectrum(self):
+        m, vals, q = _decaying_psd()
+        got_vals, got_vecs = nystrom_eigenpairs(m, 8,
+                                                rng=np.random.default_rng(1))
+        assert np.allclose(got_vals, vals[:8], atol=1e-6)
+        assert _subspace_cosines(q[:, :8], got_vecs).min() > 1 - 1e-6
+
+    def test_same_seed_same_result(self):
+        m, _, _ = _decaying_psd()
+        first = randomized_svd(m, m.shape, 6, rng=np.random.default_rng(3))
+        second = randomized_svd(m, m.shape, 6, rng=np.random.default_rng(3))
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_callable_operator_requires_adjoint(self):
+        with pytest.raises(AlgorithmError):
+            randomized_svd(lambda x: x, (10, 10), 2)
+
+    def test_callable_with_adjoint_works(self):
+        m, vals, _ = _decaying_psd(n=100)
+        matmat = lambda x: m @ x  # noqa: E731 — symmetric, self-adjoint
+        _u, s, _vt = randomized_svd(matmat, m.shape, 5,
+                                    rng=np.random.default_rng(0),
+                                    rmatmat=matmat)
+        assert np.allclose(s, vals[:5], atol=1e-9)
+
+    def test_nystrom_rejects_rectangular(self):
+        with pytest.raises(AlgorithmError):
+            nystrom_eigenpairs(np.ones((4, 5)), 2)
+
+
+class TestSketchedEigenpairs:
+    GRAPH = _block_graph()
+    POLICY = SketchPolicy(threshold=500)
+
+    def test_matches_exact_on_gap_graph(self):
+        vals_e, vecs_e = laplacian_eigenpairs(self.GRAPH, k=6)
+        with sketching(self.POLICY):
+            vals_s, vecs_s = laplacian_eigenpairs(self.GRAPH, k=6)
+        assert np.abs(vals_s - vals_e).max() < 5e-3
+        assert _subspace_cosines(vecs_e, vecs_s).min() > 0.99
+
+    def test_sketched_run_is_deterministic(self):
+        with sketching(self.POLICY):
+            first = laplacian_eigenpairs(self.GRAPH, k=6)
+            second = laplacian_eigenpairs(self.GRAPH, k=6)
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])
+
+    def test_below_threshold_bit_identical(self):
+        small = powerlaw_cluster_graph(120, 3, 0.2, seed=4)
+        exact = laplacian_eigenpairs(small, k=5)
+        with sketching(SketchPolicy(threshold=500)):
+            sketched_off = laplacian_eigenpairs(small, k=5)
+        assert np.array_equal(exact[0], sketched_off[0])
+        assert np.array_equal(exact[1], sketched_off[1])
+
+    def test_nystrom_method_selected_by_policy(self):
+        from repro.observability import capture_trace, span, tracing
+        with sketching(SketchPolicy(threshold=500, method="nystrom")):
+            with tracing(True), capture_trace() as trace:
+                with span("test"):
+                    vals, vecs = laplacian_eigenpairs(self.GRAPH, k=4)
+        assert vals.shape == (4,)
+        assert vecs.shape == (self.GRAPH.num_nodes, 4)
+        from repro.observability import counter_totals
+        totals = counter_totals(trace.to_payload())
+        assert totals.get("nystrom_landmarks", 0) > 0
+
+    def test_cache_keys_never_collide(self):
+        """Exact and sketched eigenpairs of the same graph coexist in one
+        cache scope: asking for the exact pair after a sketched one must
+        rerun the exact producer, never serve the sketched artifact."""
+        from repro.cache import artifact_cache, caching
+        with caching(True), artifact_cache():
+            exact = laplacian_eigenpairs(self.GRAPH, k=6)
+            with sketching(self.POLICY):
+                sketched = laplacian_eigenpairs(self.GRAPH, k=6)
+                # warm read back under the policy: the sketched entry
+                again_sketched = laplacian_eigenpairs(self.GRAPH, k=6)
+            again_exact = laplacian_eigenpairs(self.GRAPH, k=6)
+        assert not np.array_equal(exact[1], sketched[1])
+        assert np.array_equal(sketched[1], again_sketched[1])
+        assert np.array_equal(exact[1], again_exact[1])
+
+
+class TestSketchedNetMF:
+    def test_singular_values_and_leading_subspace_agree(self):
+        from repro.embedding.netmf import netmf_embeddings
+        graph = powerlaw_cluster_graph(700, 4, 0.2, seed=2)
+        exact = netmf_embeddings(graph, dim=32, window=5)
+        with sketching(SketchPolicy(threshold=500)):
+            sketched = netmf_embeddings(graph, dim=32, window=5)
+        assert sketched.shape == exact.shape
+        norm_e = np.linalg.norm(exact, axis=0)
+        norm_s = np.linalg.norm(sketched, axis=0)
+        # Column norms are sqrt(singular values): within a few percent.
+        assert np.abs(norm_e - norm_s).max() < 0.1 * norm_e.max()
+        # Leading half of the spectrum spans the same subspace; the tail
+        # rotates freely inside near-degenerate trailing directions.
+        cos = _subspace_cosines(exact[:, :16], sketched[:, :16])
+        assert np.median(cos) > 0.95
+
+    def test_below_threshold_bit_identical(self):
+        from repro.embedding.netmf import netmf_embeddings
+        graph = powerlaw_cluster_graph(150, 3, 0.2, seed=9)
+        exact = netmf_embeddings(graph, dim=16, window=4)
+        with sketching(SketchPolicy(threshold=500)):
+            off = netmf_embeddings(graph, dim=16, window=4)
+        assert np.array_equal(exact, off)
+
+
+class TestTopkSimilarity:
+    def test_kernels(self):
+        from repro.embedding.topk import topk_similarity
+        rng = np.random.default_rng(0)
+        src, tgt = rng.standard_normal((12, 4)), rng.standard_normal((15, 4))
+        exp_mat = topk_similarity(src, tgt, k=3, kernel="exp")
+        neg_mat = topk_similarity(src, tgt, k=3, kernel="neg")
+        assert exp_mat.shape == (12, 15) and exp_mat.nnz == 36
+        # Same sparsity pattern, exp-transformed values.
+        assert (exp_mat != 0).nnz == 36
+        assert np.allclose(np.exp(neg_mat[exp_mat.nonzero()]),
+                           exp_mat[exp_mat.nonzero()])
+        with pytest.raises(AlgorithmError):
+            topk_similarity(src, tgt, k=3, kernel="cosine")
+
+    def test_neg_kernel_survives_large_distances(self):
+        from repro.embedding.topk import topk_similarity
+        src = np.zeros((2, 3))
+        tgt = np.full((4, 3), 40.0)  # d^2 = 4800: exp underflows to 0
+        neg = topk_similarity(src, tgt, k=2, kernel="neg")
+        assert neg.nnz == 4
+        assert np.all(neg.data < 0)
+
+
+class TestSparseAssignment:
+    def test_exact_sparse_matches_masked_dense(self):
+        from scipy.optimize import linear_sum_assignment
+        from repro.assignment.sparse import sparse_max_weight_matching
+        rng = np.random.default_rng(5)
+        n, k = 40, 5
+        rows = np.repeat(np.arange(n), k)
+        cols = np.concatenate([
+            np.sort(rng.choice(n, size=k, replace=False)) for _ in range(n)])
+        # Guarantee feasibility: include the diagonal.
+        rows = np.concatenate([rows, np.arange(n)])
+        cols = np.concatenate([cols, np.arange(n)])
+        data = rng.random(rows.shape[0]) - 0.5  # negatives included
+        mat = sparse.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+        mapping = sparse_max_weight_matching(mat)
+        assert np.all(mapping >= 0)
+        # Objective equals the dense LAP optimum on the masked matrix.
+        dense = mat.toarray()
+        eligible = np.asarray((mat != 0).toarray())
+        cost = np.where(eligible, -dense, 1e6)
+        r, c = linear_sum_assignment(cost)
+        assert np.isclose(dense[np.arange(n), mapping].sum(),
+                          dense[r, c].sum())
+
+    def test_densification_counted(self):
+        from repro.assignment.sparse import sparse_max_weight_matching
+        from repro.observability import (capture_trace, counter_totals,
+                                         span, tracing)
+        dense_pattern = sparse.csr_matrix(np.random.default_rng(0)
+                                          .random((8, 8)))  # density 1.0
+        with tracing(True), capture_trace() as trace:
+            with span("test"):
+                sparse_max_weight_matching(dense_pattern)
+        totals = counter_totals(trace.to_payload())
+        assert totals.get("assignment_densified") == 1
+
+    def test_sparse_extractors_match_dense_on_full_pattern(self):
+        from repro.assignment.greedy import (nearest_neighbor,
+                                             nearest_neighbor_one_to_one,
+                                             sort_greedy)
+        from repro.assignment.sparse import (
+            sparse_nearest_neighbor,
+            sparse_nearest_neighbor_one_to_one,
+            sparse_sort_greedy,
+        )
+        rng = np.random.default_rng(11)
+        dense = rng.random((10, 12)) + 0.1  # all-positive, no zeros
+        sp = sparse.csr_matrix(dense)
+        assert np.array_equal(sparse_nearest_neighbor(sp),
+                              nearest_neighbor(dense))
+        assert np.array_equal(sparse_nearest_neighbor_one_to_one(sp),
+                              nearest_neighbor_one_to_one(dense))
+        assert np.array_equal(sparse_sort_greedy(sp), sort_greedy(dense))
+
+    def test_sparse_extractors_respect_candidate_set(self):
+        from repro.assignment.sparse import (
+            sparse_nearest_neighbor,
+            sparse_nearest_neighbor_one_to_one,
+        )
+        # Row 1 has no candidates at all; row 0's only candidate is col 2.
+        mat = sparse.csr_matrix(
+            (np.array([-3.0]), (np.array([0]), np.array([2]))), shape=(2, 4))
+        assert np.array_equal(sparse_nearest_neighbor(mat), [2, -1])
+        assert np.array_equal(sparse_nearest_neighbor_one_to_one(mat),
+                              [2, -1])
+
+    def test_extract_alignment_routes_sparse_under_policy(self):
+        from repro.assignment import extract_alignment
+        rng = np.random.default_rng(3)
+        n, k = 30, 4
+        rows = np.concatenate([np.repeat(np.arange(n), k), np.arange(n)])
+        cols = np.concatenate([
+            rng.integers(0, n, size=n * k), np.arange(n)])
+        data = rng.random(rows.shape[0]) + 0.5
+        mat = sparse.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+        with sketching(SketchPolicy(threshold=10)):
+            for method in ("nn", "nn-1to1", "sg", "jv", "mwm"):
+                mapping = extract_alignment(mat, method)
+                assert mapping.shape == (n,)
+                assert mapping.max() < n
+
+
+class TestSparseFirstPipeline:
+    """End-to-end: embedding algorithms go sparse above the threshold."""
+
+    PAIR_N = 700
+
+    @classmethod
+    def _pair(cls):
+        from repro.noise import make_pair
+        graph = powerlaw_cluster_graph(cls.PAIR_N, 3, 0.2, seed=8)
+        return make_pair(graph, "one-way", 0.01, seed=9)
+
+    def _run(self, name, policy, assignment="sg", **params):
+        from repro.algorithms import get_algorithm
+        from repro.observability import tracing
+        pair = self._pair()
+        algorithm = get_algorithm(name, **params)
+        with sketching(policy), tracing(True):
+            return algorithm.align(pair.source, pair.target,
+                                   assignment=assignment, seed=0)
+
+    @staticmethod
+    def _totals(result):
+        from repro.observability import counter_totals
+        return counter_totals(result.trace)
+
+    def test_grasp_sparse_similarity_and_counters(self):
+        result = self._run("grasp", SketchPolicy(threshold=500),
+                           k=10, q=20)
+        assert sparse.issparse(result.similarity)
+        totals = self._totals(result)
+        assert totals.get("sketched_kernels", 0) >= 2  # both eigenbases
+        assert totals.get("similarity_topk", 0) > 0
+        assert totals.get("dense_bypass", 0) == 0
+        assert totals.get("assignment_densified", 0) == 0
+        assert (result.mapping >= 0).sum() > 0
+
+    def test_regal_sparse_similarity(self):
+        result = self._run("regal", SketchPolicy(threshold=500),
+                           assignment="nn")
+        assert sparse.issparse(result.similarity)
+        totals = self._totals(result)
+        assert totals.get("similarity_topk", 0) > 0
+        assert totals.get("dense_bypass", 0) == 0
+
+    def test_cone_sparse_extraction_but_honest_bypass(self):
+        result = self._run("cone", SketchPolicy(threshold=500),
+                           assignment="nn", dim=16, window=4, iterations=2,
+                           sinkhorn_iter=20)
+        assert sparse.issparse(result.similarity)
+        totals = self._totals(result)
+        # CONE's Sinkhorn refinement is still dense: the bypass counter
+        # and diagnostic must say so.
+        assert totals.get("dense_bypass", 0) == 1
+        assert any(d.kind == "dense_bypass" for d in result.diagnostics)
+
+    def test_dense_algorithm_audited_above_threshold(self):
+        result = self._run("isorank", SketchPolicy(threshold=500),
+                           assignment="sg")
+        totals = self._totals(result)
+        assert totals.get("dense_bypass", 0) == 1
+        assert any(d.kind == "dense_bypass" for d in result.diagnostics)
+
+    def test_below_threshold_align_bit_identical(self):
+        from repro.algorithms import get_algorithm
+        from repro.noise import make_pair
+        pair = make_pair(powerlaw_cluster_graph(60, 3, 0.3, seed=5),
+                         "one-way", 0.02, seed=6)
+        for name in ("grasp", "regal"):
+            algorithm = get_algorithm(name)
+            exact = algorithm.align(pair.source, pair.target, seed=0)
+            with sketching(SketchPolicy()):  # default threshold 4096
+                sketched_off = algorithm.align(pair.source, pair.target,
+                                               seed=0)
+            assert np.array_equal(exact.mapping, sketched_off.mapping)
+            assert np.array_equal(np.asarray(exact.similarity),
+                                  np.asarray(sketched_off.similarity))
+
+
+class TestHarnessIntegration:
+    @staticmethod
+    def _config(**overrides):
+        from repro.harness import ExperimentConfig
+        base = dict(
+            name="sketch-test",
+            algorithms=("regal",),
+            noise_types=("one-way",),
+            noise_levels=(0.0, 0.02),
+            repetitions=2,
+            measures=("accuracy",),
+            seed=0,
+        )
+        base.update(overrides)
+        return ExperimentConfig(**base)
+
+    @staticmethod
+    def _records(table):
+        return sorted(
+            (r.algorithm, r.noise_level, r.repetition,
+             tuple(sorted(r.measures.items())))
+            for r in table.records
+        )
+
+    def test_config_validates_sketch_knobs(self):
+        with pytest.raises(ExperimentError):
+            self._config(sketch=True, sketch_method="bogus")
+        with pytest.raises(ExperimentError):
+            self._config(sketch=True, sketch_threshold=0)
+        assert self._config(sketch=True).sketch_policy() is not None
+        assert self._config().sketch_policy() is None
+
+    def test_sweep_below_threshold_identical_with_sketch_on_off(self):
+        from repro.harness import run_experiment
+        graph = powerlaw_cluster_graph(50, 3, 0.3, seed=1)
+        plain = run_experiment(self._config(), {"pl": graph})
+        sketchy = run_experiment(self._config(sketch=True), {"pl": graph})
+        assert self._records(plain) == self._records(sketchy)
+
+    def test_sweep_parallel_matches_serial_with_sketch(self):
+        from repro.harness import run_experiment
+        graph = powerlaw_cluster_graph(50, 3, 0.3, seed=1)
+        serial = run_experiment(self._config(sketch=True), {"pl": graph})
+        parallel = run_experiment(self._config(sketch=True, workers=2),
+                                  {"pl": graph})
+        assert self._records(serial) == self._records(parallel)

@@ -73,11 +73,17 @@ GW_GOLDEN = {
          ("fallback_activations", "gw_outer_iterations",
           "sinkhorn_iterations"), ()),
     ))),
-    "s-gwl": _pipeline((
-        "similarity", "ok",
-        ("fallback_activations", "gw_leaf_solves", "gw_outer_iterations",
-         "sinkhorn_iterations"), (),
-    )),
+    # S-GWL emits a *sparse* similarity; the dense JV back-end densifies
+    # it, which the sparse-first audit records as assignment_densified.
+    "s-gwl": (
+        ("preflight", "ok", (), ()),
+        ("similarity", "ok",
+         ("fallback_activations", "gw_leaf_solves", "gw_outer_iterations",
+          "sinkhorn_iterations"), ()),
+        ("watchdog", "ok", (), ()),
+        ("assignment", "ok",
+         ("assignment_densified", "jv_augmenting_steps"), ()),
+    ),
 }
 
 
